@@ -1,0 +1,21 @@
+"""Shared configuration for the figure/table regeneration benchmarks.
+
+Each benchmark regenerates one of the paper's tables or figures via
+``benchmark.pedantic`` (a single timed round — these are experiment
+sweeps, not micro-benchmarks), asserts the shape the paper reports, and
+prints the regenerated rows/series.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under the benchmark timer."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(
+            func, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return runner

@@ -1,0 +1,103 @@
+"""Design-claim ablation benchmarks.
+
+* Two-step decomposition vs the contention-coupled single-step DP
+  (the paper's Sec. I claim that one-step formulations "cannot fully
+  capture the dual heterogeneity").
+* Thermal-feedback planning vs the paper's worst-case steady-state
+  assumption (Appendix B extension).
+* Fault resilience: how gracefully schedules degrade when the NPU goes
+  offline mid-run.
+"""
+
+from repro.core.partition_coupled import plan_coupled
+from repro.core.planner import Hetero2PipePlanner
+from repro.core.thermal_feedback import plan_with_thermal_feedback
+from repro.experiments.common import geomean
+from repro.hardware.soc import get_soc
+from repro.models.zoo import get_model
+from repro.profiling.profiler import SocProfiler
+from repro.runtime.executor import execute_plan, plan_to_chains, simulate_chains
+from repro.workloads.generator import sample_combinations
+
+
+def test_bench_two_step_vs_coupled(run_once):
+    soc = get_soc("kirin990")
+    profiler = SocProfiler(soc)
+    planner = Hetero2PipePlanner(soc)
+
+    def sweep():
+        rows = []
+        for spec in sample_combinations(count=10, seed=3):
+            models = spec.models()
+            coupled = execute_plan(
+                plan_coupled(soc, models, profiler)
+            ).makespan_ms
+            h2p = execute_plan(planner.plan(models).plan).makespan_ms
+            rows.append((coupled, h2p))
+        return rows
+
+    rows = run_once(sweep)
+    ratios = [coupled / h2p for coupled, h2p in rows]
+    print("\ncoupled_ms  two_step_ms  ratio")
+    for (coupled, h2p), ratio in zip(rows, ratios):
+        print(f"{coupled:10.1f}  {h2p:11.1f}  {ratio:5.3f}")
+    print(f"geomean coupled/two-step: {geomean(ratios):.3f}")
+    # The two-step decomposition is never meaningfully worse...
+    assert min(ratios) > 0.98
+    # ...and wins on average.
+    assert geomean(ratios) >= 1.0
+
+
+def test_bench_thermal_feedback(run_once):
+    soc = get_soc("kirin990")
+    models = [get_model(n) for n in ("yolov4", "bert", "squeezenet", "vit")]
+
+    def compare():
+        baseline = execute_plan(
+            Hetero2PipePlanner(soc).plan(models).plan
+        ).makespan_ms
+        feedback = plan_with_thermal_feedback(soc, models, max_iterations=3)
+        return baseline, feedback
+
+    baseline, feedback = run_once(compare)
+    print(f"\nsteady-state-profiled plan : {baseline:8.1f} ms")
+    for i, it in enumerate(feedback.iterations):
+        print(f"feedback iteration {i}       : {it.makespan_ms:8.1f} ms "
+              f"(cpu_big scale {it.scales['cpu_big']:.2f})")
+    # Utilization-aware thermal scales recover throughput on the CPU.
+    assert feedback.result.makespan_ms <= baseline * 1.02
+    assert feedback.final_scales["cpu_big"] >= feedback.iterations[0].scales[
+        "cpu_big"
+    ]
+
+
+def test_bench_fault_degradation(run_once):
+    soc = get_soc("kirin990")
+    planner = Hetero2PipePlanner(soc)
+    models = [
+        get_model(n) for n in ("vit", "resnet50", "googlenet", "mobilenetv2")
+    ]
+    plan = planner.plan(models).plan
+
+    def sweep():
+        healthy = simulate_chains(soc, plan_to_chains(plan)).makespan_ms
+        npu_dead = simulate_chains(
+            soc, plan_to_chains(plan), processor_offline_ms={"npu": 0.0}
+        ).makespan_ms
+        npu_dies_mid = simulate_chains(
+            soc,
+            plan_to_chains(plan),
+            processor_offline_ms={"npu": healthy / 4},
+        ).makespan_ms
+        return healthy, npu_dead, npu_dies_mid
+
+    healthy, npu_dead, npu_mid = run_once(sweep)
+    print(f"\nhealthy            : {healthy:8.1f} ms")
+    print(f"NPU offline at t=0 : {npu_dead:8.1f} ms "
+          f"({npu_dead / healthy:.1f}x)")
+    print(f"NPU dies mid-run   : {npu_mid:8.1f} ms "
+          f"({npu_mid / healthy:.1f}x)")
+    # Losing the NPU costs real time but execution still completes,
+    # and a mid-run fault hurts no more than losing it up front.
+    assert npu_dead > healthy
+    assert healthy <= npu_mid <= npu_dead * 1.2

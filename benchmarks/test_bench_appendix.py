@@ -1,0 +1,39 @@
+"""Appendix B thermal benchmark and the absolute optimality-gap study."""
+
+from repro.experiments import appendix_thermal, ext_optimality
+
+
+def test_bench_appendix_thermal(run_once):
+    rows, comparison = run_once(
+        lambda: (appendix_thermal.run_sweep(), appendix_thermal.run_feedback())
+    )
+    print("\n" + appendix_thermal.render_sweep(rows))
+    print("\n" + appendix_thermal.render_feedback(comparison))
+
+    by_kind = {
+        (r.kind, r.utilization): r for r in rows
+    }
+    # Appendix B: CPU crosses 60 C at full load and throttles; GPU/NPU
+    # stay cool and unthrottled.
+    assert by_kind[("cpu_big", 1.0)].temperature_c > 60.0
+    assert by_kind[("cpu_big", 1.0)].frequency_scale < 1.0
+    assert by_kind[("gpu", 1.0)].frequency_scale == 1.0
+    assert by_kind[("npu", 1.0)].frequency_scale == 1.0
+    # The utilization-consistent fixpoint never loses to the paper's
+    # full-load assumption.
+    assert comparison.feedback_ms <= comparison.worst_case_ms * 1.02
+
+
+def test_bench_optimality_gaps(run_once):
+    points = run_once(ext_optimality.run, num_combinations=12)
+    print("\n" + ext_optimality.render(points))
+
+    stats = ext_optimality.summarize(points)
+    # Achieved makespans always respect the lower bound...
+    for point in points:
+        assert point.gap >= -1e-9
+    # ...and the gap is driven by bound looseness on NPU-clean
+    # workloads (everything's best case is the same single NPU, which
+    # the K-way work bound cannot see).
+    if stats["count_with_fallback"] and stats["count_clean"]:
+        assert stats["npu_clean"] > stats["with_fallback"]

@@ -1,0 +1,32 @@
+"""Fig. 1 / Fig. 11 benchmark: solo model latency per processor."""
+
+from repro.experiments import fig1_processor_latency
+from repro.hardware.soc import get_soc
+
+
+def test_bench_fig1_processor_latency(run_once):
+    rows = run_once(fig1_processor_latency.run)
+    print("\n" + fig1_processor_latency.render(rows))
+
+    # Paper shape: NPU errors exactly on YOLOv4 and BERT; NPU fastest
+    # elsewhere; small cluster slowest everywhere.
+    errored = {r.model for r in rows if r.latency_ms["npu"] is None}
+    assert errored == {"yolov4", "bert"}
+    for row in rows:
+        if row.latency_ms["npu"] is not None:
+            others = [
+                v for k, v in row.latency_ms.items() if k != "npu" and v
+            ]
+            assert row.latency_ms["npu"] < min(others)
+        assert row.latency_ms["cpu_small"] == max(
+            v for v in row.latency_ms.values() if v is not None
+        )
+
+
+def test_bench_fig11_snapdragon_latency(run_once):
+    # Fig. 11 repeats the measurement; we run it on a second platform.
+    soc = get_soc("snapdragon870")
+    rows = run_once(fig1_processor_latency.run, soc)
+    print("\n" + fig1_processor_latency.render(rows, soc))
+    for row in rows:
+        assert row.latency_ms["cpu_small"] > row.latency_ms["cpu_big"]

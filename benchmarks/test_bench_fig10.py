@@ -1,0 +1,24 @@
+"""Fig. 10 benchmark: intra-cluster CPU contention."""
+
+from repro.experiments import fig10_intracluster
+
+
+def test_bench_fig10_intracluster(run_once):
+    rows = run_once(fig10_intracluster.run)
+    print("\n" + fig10_intracluster.render(rows))
+
+    by_label = {r.label: r for r in rows}
+
+    # Splitting the Big cluster causes severe slowdown (paper: ~70 %).
+    assert by_label["BB-BB"].victim_slowdown_pct > 40.0
+    # Far more than a cross-cluster pairing would; this is what
+    # justifies whole-cluster scheduling granularity.
+    assert by_label["BB-BB"].victim_slowdown_pct > 2 * by_label[
+        "SS-SS"
+    ].partner_slowdown_pct
+    # In the asymmetric 3+1 split, the single-core side is hit harder
+    # than in the even split.
+    assert (
+        by_label["BBB-B"].partner_slowdown_pct
+        > by_label["BB-BB"].partner_slowdown_pct
+    )

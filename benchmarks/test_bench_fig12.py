@@ -1,0 +1,20 @@
+"""Fig. 12 benchmark: bubble-size vs latency linearity (Property 1)."""
+
+from repro.experiments import fig12_bubble_latency
+
+
+def test_bench_fig12_bubble_latency(run_once):
+    results = run_once(fig12_bubble_latency.run, num_plans=50)
+    print("\n" + fig12_bubble_latency.render(results))
+
+    assert {r.label for r in results} == {"five_network", "three_network"}
+    for result in results:
+        # Property 1: a positive-slope, strongly linear relation.
+        assert result.fit.slope > 0
+        assert result.fit.r_squared > 0.5
+        assert len(result.points) == 50
+
+    # The two configurations have different slopes (the paper notes the
+    # model combination determines the slope).
+    slopes = sorted(r.fit.slope for r in results)
+    assert slopes[1] > slopes[0] * 1.05

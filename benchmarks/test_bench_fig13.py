@@ -1,0 +1,27 @@
+"""Fig. 13 benchmark: batched-latency growth rates of lightweight models."""
+
+from repro.experiments import fig13_batching
+
+
+def test_bench_fig13_batching(run_once):
+    rows = run_once(fig13_batching.run)
+    print("\n" + fig13_batching.render(rows))
+
+    assert rows
+    for row in rows:
+        # Affine latency: near-flat growth-rate series per processor.
+        spread = max(row.growth_rates) - min(row.growth_rates)
+        assert spread <= 0.25 * max(row.growth_rates)
+        assert row.marginal_ms > 0
+        assert row.fixed_ms > 0
+
+    by_key = {(r.model, r.processor): r for r in rows}
+    # The NPU's marginal per-sample cost is the cheapest; the small
+    # cluster's the dearest — batching is how light models fill a
+    # heavy-model-sized stage on any of them.
+    for model in ("mobilenetv2", "squeezenet"):
+        marginals = {
+            proc: by_key[(model, proc)].marginal_ms
+            for proc in ("npu", "cpu_big", "cpu_small")
+        }
+        assert marginals["npu"] < marginals["cpu_big"] < marginals["cpu_small"]

@@ -1,0 +1,30 @@
+"""Fig. 2 benchmark: queueing-delay motivation and resource demands."""
+
+from repro.experiments import fig2_motivation
+
+
+def test_bench_fig2a_queueing(run_once):
+    comparison = run_once(fig2_motivation.run_queueing)
+    print("\n" + fig2_motivation.render_queueing(comparison))
+
+    serial = comparison.serial.queueing_delay_ms
+    # The serial CPU backlog grows monotonically in trend...
+    assert serial[-1] > serial[len(serial) // 2] > serial[0]
+    # ...while heterogeneous execution keeps the mean wait far lower.
+    assert (
+        comparison.heterogeneous.mean_queueing_delay_ms
+        < 0.5 * comparison.serial.mean_queueing_delay_ms
+    )
+
+
+def test_bench_fig2b_resource_demands(run_once):
+    rows = run_once(fig2_motivation.run_demands)
+    print("\n" + fig2_motivation.render_demands(rows))
+
+    order = [r.model for r in rows]
+    # Observation 2: FC-heavy AlexNet leads the ranking.
+    assert order[0] == "alexnet"
+    # Observation 3: lightweight SqueezeNet outranks the 70x-larger ViT.
+    assert order.index("squeezenet") < order.index("vit")
+    # Memory-bound demand shows as depressed IPC at the top of the list.
+    assert rows[0].ipc < rows[-1].ipc

@@ -1,0 +1,70 @@
+"""Fig. 7 benchmark: overall latency/throughput comparison on 3 SoCs.
+
+This is the paper's headline experiment.  The full paper sweep uses 100
+random combinations per platform; the benchmark default (15) keeps the
+regeneration under a minute while preserving every reported shape —
+pass a larger count through :func:`repro.experiments.fig7_overall.run`
+to match the paper exactly.
+"""
+
+from repro.experiments import fig7_overall
+from repro.experiments.common import geomean
+
+NUM_COMBINATIONS = 15
+
+
+def test_bench_fig7_overall(run_once):
+    summaries = run_once(
+        fig7_overall.run, num_combinations=NUM_COMBINATIONS
+    )
+    print("\n" + fig7_overall.render(summaries))
+
+    by_name = {s.soc_name: s for s in summaries}
+    kirin = by_name["kirin990"]
+
+    # Headline: large speedups over vanilla MNN, biggest on Kirin 990
+    # thanks to the NPU (paper: 4.2x average, up to 8.8x).
+    gm, hi, _ = kirin.speedup_over("mnn")
+    assert gm > 2.5
+    assert hi > 6.0
+
+    # Pipe-it trails clearly (paper: 2x average, up to 3.7x).
+    gm_pipe, _, _ = kirin.speedup_over("pipe_it")
+    assert gm_pipe > 2.0
+
+    # Band is the close competitor (paper: ~5 % average gain).
+    gm_band, _, lo_band = kirin.speedup_over("band")
+    assert 0.95 < gm_band < 1.5
+    assert lo_band < 1.0  # Band wins occasionally, as the paper admits
+
+    # The No-C/T ablation always trails the full planner.
+    gm_noct, _, lo_noct = kirin.speedup_over("h2p_no_ct")
+    assert gm_noct >= 1.0
+    assert lo_noct >= 0.999
+
+    # Snapdragons (no NPU) still gain but less than Kirin.
+    for soc_name in ("snapdragon778g", "snapdragon870"):
+        gm_soc, _, _ = by_name[soc_name].speedup_over("mnn")
+        assert 1.5 < gm_soc < gm
+
+    # Throughput ordering mirrors latency ordering.
+    for summary in summaries:
+        assert summary.mean_throughput("h2p") > summary.mean_throughput("mnn")
+
+
+def test_bench_fig7_band_scatter(run_once):
+    summaries = run_once(
+        fig7_overall.run,
+        soc_names=("kirin990",),
+        num_combinations=NUM_COMBINATIONS,
+    )
+    scatter = summaries[0].band_scatter(fraction=0.3)
+    print("\nBand-vs-H2P scatter (band_ms, h2p_ms):")
+    for band, h2p in scatter:
+        print(f"  {band:9.1f}  {h2p:9.1f}")
+    assert len(scatter) >= 3
+    # H2P's solutions show less variance than Band's (paper's point).
+    bands = [b for b, _ in scatter]
+    h2ps = [h for _, h in scatter]
+    ratios = [b / h for b, h in scatter]
+    assert geomean(ratios) > 0.9

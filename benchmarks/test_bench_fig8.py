@@ -1,0 +1,45 @@
+"""Fig. 8 benchmark: vertical-optimization ablations.
+
+(a) H2P vs exhaustive search vs simulated annealing vs No-C/T; the
+    paper reports H2P within ~4 % of the exhaustive optimum.
+(b) Component removal: contention mitigation and tail optimization each
+    contribute; removing both costs ~1.3x on average.
+"""
+
+from repro.experiments import fig8_ablation
+from repro.experiments.common import geomean
+
+NUM_COMBINATIONS = 12
+
+
+def test_bench_fig8a_strategies(run_once):
+    points = run_once(
+        fig8_ablation.run_strategies, num_combinations=NUM_COMBINATIONS
+    )
+    print("\n" + fig8_ablation.render_strategies(points))
+
+    # H2P stays close to the exhaustive reference (paper: ~4 %).
+    gap = fig8_ablation.optimality_gap(points)
+    assert gap < 0.10, f"gap to exhaustive {gap * 100:.1f}%"
+
+    # H2P beats simulated annealing on average.
+    ratios = [p.latency_ms["annealing"] / p.latency_ms["h2p"] for p in points]
+    assert geomean(ratios) > 0.98
+
+    # The sorted-by-latency presentation is monotone by construction.
+    h2ps = [p.latency_ms["h2p"] for p in points]
+    assert h2ps == sorted(h2ps)
+
+
+def test_bench_fig8b_components(run_once):
+    ablation = run_once(
+        fig8_ablation.run_components, num_combinations=NUM_COMBINATIONS
+    )
+    print("\n" + fig8_ablation.render_components(ablation))
+
+    # Progressive degradation: full <= single removals <= both removed.
+    assert ablation.full_ms <= ablation.no_contention_ms + 1e-6
+    assert ablation.full_ms <= ablation.no_tail_ms + 1e-6
+    assert ablation.full_ms <= ablation.no_both_ms + 1e-6
+    # Removing both components costs measurably (paper: ~1.3x).
+    assert ablation.no_both_ms / ablation.full_ms > 1.02

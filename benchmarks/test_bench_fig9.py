@@ -1,0 +1,29 @@
+"""Fig. 9 benchmark: memory frequency and footprint traces."""
+
+from repro.experiments import fig9_memory
+from repro.hardware.soc import get_soc
+
+
+def test_bench_fig9_memory_traces(run_once):
+    traces = run_once(fig9_memory.run)
+    print("\n" + fig9_memory.render(traces))
+
+    soc = get_soc("kirin990")
+    by_label = {t.label: t for t in traces}
+
+    # NPU-only execution never demands the max memory state...
+    assert (
+        by_label["npu_only_lightweight"].max_freq_mhz
+        < soc.memory_freq_mhz[-1]
+    )
+    # ...but CPU/GPU pipelines pin the controller to the maximum.
+    for label in ("two_stage_medium", "three_stage_large", "mixed_all_tiers"):
+        assert by_label[label].max_freq_mhz == soc.memory_freq_mhz[-1]
+
+    # Available memory drains with pipeline size: from the ~2.5 GB
+    # initial headroom down toward the paper's few-hundred-MB regime.
+    lightweight = by_label["npu_only_lightweight"].min_available_bytes
+    large = by_label["three_stage_large"].min_available_bytes
+    assert large < lightweight
+    assert large < 1.6e9
+    assert lightweight > 2.0e9

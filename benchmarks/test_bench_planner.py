@@ -1,0 +1,57 @@
+"""Planner micro-benchmarks: the costs Sec. V's complexity analysis bounds.
+
+Unlike the figure regenerations, these measure the planner's own
+components with repeated rounds: the O(n^2 K) horizontal DP, the
+O(|M|^3) Kuhn-Munkres mitigation and the full two-step plan.
+"""
+
+import pytest
+
+from repro.core.assignment import kuhn_munkres
+from repro.core.mitigation import mitigate_sequence
+from repro.core.partition import partition_model
+from repro.core.planner import Hetero2PipePlanner
+from repro.hardware.soc import get_soc
+from repro.models.zoo import get_model
+from repro.profiling.profiler import SocProfiler
+
+
+@pytest.fixture(scope="module")
+def kirin():
+    return get_soc("kirin990")
+
+
+@pytest.fixture(scope="module")
+def profiler(kirin):
+    return SocProfiler(kirin)
+
+
+def test_bench_horizontal_dp(benchmark, kirin, profiler):
+    profile = profiler.profile(get_model("vit"))
+    result = benchmark(partition_model, profile, kirin.processors)
+    assert result.makespan_ms > 0
+
+
+def test_bench_kuhn_munkres_16x16(benchmark):
+    import random
+
+    rng = random.Random(0)
+    cost = [[rng.uniform(0, 10) for _ in range(16)] for _ in range(16)]
+    pairs, total = benchmark(kuhn_munkres, cost)
+    assert len(pairs) == 16
+
+
+def test_bench_mitigation_sequence(benchmark):
+    labels = [i % 3 == 0 for i in range(24)]
+    result = benchmark(mitigate_sequence, labels, 4)
+    assert sorted(result.order) == list(range(24))
+
+
+def test_bench_full_planner(benchmark, kirin):
+    planner = Hetero2PipePlanner(kirin)
+    models = [
+        get_model(n)
+        for n in ("yolov4", "bert", "squeezenet", "resnet50", "vit")
+    ]
+    report = benchmark(planner.plan, models)
+    assert report.plan.num_requests == 5

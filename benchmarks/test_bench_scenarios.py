@@ -1,0 +1,36 @@
+"""Scenario and sensitivity benchmarks (extension studies)."""
+
+from repro.experiments import ext_scenarios, ext_sensitivity
+
+
+def test_bench_scenarios(run_once):
+    rows = run_once(ext_scenarios.run)
+    print("\n" + ext_scenarios.render(rows))
+
+    by_name = {r.scenario: r for r in rows}
+    # Every application beats serial execution...
+    for row in rows:
+        assert row.speedup_vs_mnn > 1.5
+    # ...and the NPU-friendly streams see the biggest wins.
+    assert by_name["smart_camera"].speedup_vs_mnn > by_name[
+        "ar_assistant"
+    ].speedup_vs_mnn
+    # The achieved makespan respects the theoretical lower bound.
+    for row in rows:
+        assert row.h2p_ms >= row.lower_bound_ms
+
+
+def test_bench_sensitivity(run_once):
+    points = run_once(
+        ext_sensitivity.run,
+        coupling_scales=(0.0, 1.0, 2.0),
+        num_combinations=5,
+    )
+    print("\n" + ext_sensitivity.render(points))
+
+    # The headline ordering is robust to the contention-model
+    # calibration: H2P dominates MNN and stays competitive with Band at
+    # zero, nominal and double coupling strength.
+    for point in points:
+        assert point.speedup_vs_mnn > 1.5
+        assert point.speedup_vs_band > 0.9

@@ -1,0 +1,24 @@
+"""Table II benchmark: pairwise co-execution slowdowns."""
+
+from repro.experiments import table2_slowdown
+
+
+def test_bench_table2_slowdown(run_once):
+    rows = run_once(table2_slowdown.run)
+    print("\n" + table2_slowdown.render(rows))
+
+    # Rows come in (cpu victim, gpu victim) pairs per experiment.
+    sq_cpu, bert_gpu_a, vit_cpu, bert_gpu_b = rows
+
+    # Paper magnitudes: CPU-GPU co-execution slows both sides by
+    # roughly 5-30 %.
+    for row in rows:
+        assert 3.0 <= row.slowdown_pct <= 35.0
+
+    # Observation 3 (the table's point): SqueezeNet hurts its BERT peer
+    # more than the 70x larger ViT does.
+    assert bert_gpu_a.slowdown_pct > bert_gpu_b.slowdown_pct
+
+    # Co-execution time always exceeds solo time.
+    for row in rows:
+        assert row.co_ms > row.solo_ms

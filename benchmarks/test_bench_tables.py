@@ -1,0 +1,38 @@
+"""Table I and Appendix A benchmarks: capability matrix, search space."""
+
+from repro.experiments import searchspace, table1_comparison
+
+
+def test_bench_table1_capability_matrix(run_once):
+    rows = run_once(table1_comparison.run)
+    print("\n" + table1_comparison.render(rows))
+
+    assert len(rows) == 10
+    h2p = [r for r in rows if r.name == "Hetero2Pipe"][0]
+    assert h2p.multi_dnn and h2p.dnn_heterogeneity
+    assert h2p.pipeline and h2p.contention
+    # No other scheme ticks all four boxes.
+    others = [
+        r
+        for r in rows
+        if r.name != "Hetero2Pipe"
+        and r.multi_dnn
+        and r.dnn_heterogeneity
+        and r.pipeline
+        and r.contention
+    ]
+    assert not others
+
+
+def test_bench_appendix_search_space(run_once):
+    summary = run_once(searchspace.run)
+    print("\n" + searchspace.render(summary))
+
+    # Paper: 449 feasible pipelines for P in [2, 10]; the literal Eq. 12
+    # evaluation lands within a few percent and our direct enumeration
+    # in the same order of magnitude.
+    assert abs(summary.pipelines_eq12 - 449) <= 20
+    assert 250 <= summary.pipelines_total <= 600
+    # Paper: billions of split combinations for MobileNetV2; the point
+    # is combinatorial explosion, which either count demonstrates.
+    assert summary.mobilenet_splits > 1e7

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Fault tolerance: what happens when the NPU dies mid-run.
+
+Real accelerators drop out — thermal shutdown, driver resets, firmware
+watchdogs.  This example plans an NPU-heavy workload, then injects NPU
+failures at different times and shows the executor's operator-level
+fallback re-routing the pending work, with Gantt charts before and
+after.
+
+Run:
+    python examples/fault_tolerance.py
+"""
+
+from repro import Hetero2PipePlanner, get_model, get_soc
+from repro.runtime.executor import plan_to_chains, simulate_chains
+from repro.runtime.tracing import ascii_gantt
+
+WORKLOAD = ("vit", "resnet50", "googlenet", "inceptionv4", "mobilenetv2")
+
+
+def main() -> None:
+    soc = get_soc("kirin990")
+    names = list(WORKLOAD)
+    plan = Hetero2PipePlanner(soc).plan(
+        [get_model(n) for n in names]
+    ).plan
+    ordered = [names[i] for i in plan.order]
+
+    healthy = simulate_chains(soc, plan_to_chains(plan))
+    print(f"healthy run: {healthy.makespan_ms:.1f} ms")
+    print(ascii_gantt(healthy, ordered, width=64))
+
+    for label, offline_at in (
+        ("NPU offline from the start", 0.0),
+        ("NPU dies at 1/3 of the healthy makespan", healthy.makespan_ms / 3),
+    ):
+        degraded = simulate_chains(
+            soc,
+            plan_to_chains(plan),
+            processor_offline_ms={"npu": offline_at},
+        )
+        slowdown = degraded.makespan_ms / healthy.makespan_ms
+        print(f"\n{label}: {degraded.makespan_ms:.1f} ms "
+              f"({slowdown:.2f}x the healthy run)")
+        print(ascii_gantt(degraded, ordered, width=64))
+
+
+if __name__ == "__main__":
+    main()

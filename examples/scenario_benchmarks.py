@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Application scenarios end to end: catalogue -> comparison -> bounds.
+
+Runs every named scenario (scene understanding, smart camera, AR
+assistant, video conferencing, photo batch) through the full scheme
+line-up with the uniform comparison framework, reports win rates, and
+shows how far each Hetero2Pipe schedule sits above the contention-free
+theoretical lower bound.
+
+Run:
+    python examples/scenario_benchmarks.py
+"""
+
+from repro import get_soc
+from repro.analysis.charts import bar_chart
+from repro.core.bounds import makespan_lower_bounds
+from repro.runtime.metrics import compare_schemes, standard_schemes
+from repro.workloads.scenarios import all_scenarios
+
+
+def main() -> None:
+    soc = get_soc("kirin990")
+    scenarios = all_scenarios()
+    workloads = [scenario.models() for scenario in scenarios]
+
+    matrix = compare_schemes(standard_schemes(soc), workloads)
+
+    print(f"scheme line-up over {len(scenarios)} application scenarios "
+          f"on {soc.name}\n")
+    print(bar_chart(
+        matrix.leaderboard(), width=44, unit=" ms",
+        title="mean latency per scheme (lower is better):",
+    ))
+
+    gm, hi, lo = matrix.speedup_summary("mnn", "h2p")
+    print(f"\nHetero2Pipe vs serial MNN: {gm:.2f}x geomean "
+          f"({lo:.2f}x .. {hi:.2f}x)")
+    print(f"win rate vs Band: {matrix.win_rate('h2p', 'band') * 100:.0f}% "
+          f"of scenarios")
+
+    print("\nper-scenario detail (H2P ms vs theoretical lower bound):")
+    for scenario, workload, h2p_ms in zip(
+        scenarios, workloads, matrix.latency_ms["h2p"]
+    ):
+        bounds = makespan_lower_bounds(soc, workload)
+        gap = bounds.gap(h2p_ms)
+        print(f"  {scenario.name:20s} {h2p_ms:8.1f} ms  "
+              f"(bound {bounds.lower_bound_ms:7.1f} ms, +{gap * 100:.0f}%)  "
+              f"- {scenario.description}")
+
+
+if __name__ == "__main__":
+    main()

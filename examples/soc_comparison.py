@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Cross-platform study: the same workload on all three evaluation SoCs.
+
+Shows how the NPU changes the picture: the Kirin 990 reaches far larger
+speedups than the NPU-less Snapdragons, and BERT/YOLOv4 (whose operators
+the NPU cannot run) route around it via operator fallback.
+
+Run:
+    python examples/soc_comparison.py
+"""
+
+from repro import Hetero2PipePlanner, execute_plan, get_model, get_soc
+from repro.baselines import plan_mnn_serial
+from repro.hardware import SOC_NAMES
+from repro.profiling import SocProfiler
+
+WORKLOAD = ("vgg16", "bert", "mobilenetv2", "yolov4", "googlenet", "vit")
+
+
+def main() -> None:
+    models = [get_model(name) for name in WORKLOAD]
+    print(f"workload: {', '.join(WORKLOAD)}\n")
+
+    for soc_name in SOC_NAMES:
+        soc = get_soc(soc_name)
+        profiler = SocProfiler(soc)
+        planner = Hetero2PipePlanner(soc)
+
+        report = planner.plan(models)
+        h2p = execute_plan(report.plan)
+        serial = execute_plan(plan_mnn_serial(soc, models, profiler))
+
+        npu_note = "with NPU" if soc.has_npu else "no NPU"
+        print(f"=== {soc.name} ({npu_note}) ===")
+        print(f"  serial CPU : {serial.makespan_ms:8.1f} ms")
+        print(f"  Hetero2Pipe: {h2p.makespan_ms:8.1f} ms "
+              f"-> {serial.makespan_ms / h2p.makespan_ms:.2f}x speedup")
+
+        if soc.has_npu:
+            npu_models = set()
+            for assignment in report.plan.assignments:
+                for k, slc in enumerate(assignment.slices):
+                    if slc is not None and report.plan.processors[k].name == "npu":
+                        npu_models.add(assignment.model_name)
+            off_npu = sorted(set(WORKLOAD) - npu_models)
+            print(f"  NPU-resident models : {sorted(npu_models)}")
+            print(f"  fallback (CPU/GPU)  : {off_npu}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Hetero2Pipe reproduction: contention-aware multi-DNN pipeline planning
+for heterogeneous mobile SoCs.
+
+Reproduces "Hetero2Pipe: Pipelining Multi-DNN Inference on Heterogeneous
+Mobile Processors under Co-Execution Slowdown" (ICDCS 2025) as a pure
+Python library: the two-step DP + work-stealing planner, the contention
+model, a simulated SoC substrate (Kirin 990, Snapdragon 778G/870), the
+baselines (MNN-serial, Pipe-it, Band, exhaustive, annealing) and an
+experiment harness regenerating every table and figure.
+
+Quickstart::
+
+    from repro import Hetero2PipePlanner, get_model, get_soc, execute_plan
+
+    soc = get_soc("kirin990")
+    planner = Hetero2PipePlanner(soc)
+    report = planner.plan([get_model("yolov4"), get_model("bert"),
+                           get_model("squeezenet")])
+    result = execute_plan(report.plan)
+    print(result.makespan_ms, result.throughput_per_s)
+"""
+
+from .core.planner import Hetero2PipePlanner, PlannerConfig, PlanReport
+from .hardware.soc import SOC_NAMES, get_soc
+from .models.zoo import MODEL_NAMES, all_models, get_model
+from .runtime.executor import ExecutionResult, execute_plan
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Hetero2PipePlanner",
+    "PlannerConfig",
+    "PlanReport",
+    "SOC_NAMES",
+    "get_soc",
+    "MODEL_NAMES",
+    "all_models",
+    "get_model",
+    "ExecutionResult",
+    "execute_plan",
+    "__version__",
+]

@@ -1,0 +1,13 @@
+"""Regression and statistics utilities."""
+
+from .regression import RidgeModel, fit_ridge
+from .stats import LinearFit, geometric_mean, linear_fit, summarize
+
+__all__ = [
+    "RidgeModel",
+    "fit_ridge",
+    "LinearFit",
+    "geometric_mean",
+    "linear_fit",
+    "summarize",
+]

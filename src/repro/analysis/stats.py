@@ -1,0 +1,71 @@
+"""Small statistics helpers used by the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Ordinary least-squares line ``y = slope * x + intercept``."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.slope * x + self.intercept
+
+
+def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> LinearFit:
+    """Fit a straight line and report R^2 (Fig. 12 / Fig. 13 analyses).
+
+    Raises:
+        ValueError: with fewer than two points or zero x-variance.
+    """
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("xs and ys must be 1-D sequences of equal length")
+    if x.shape[0] < 2:
+        raise ValueError("need at least two points for a line")
+    x_var = float(np.var(x))
+    if x_var == 0.0:
+        raise ValueError("x values are constant; slope undefined")
+    slope = float(np.cov(x, y, bias=True)[0, 1] / x_var)
+    intercept = float(y.mean() - slope * x.mean())
+    residuals = y - (slope * x + intercept)
+    total = float(np.sum((y - y.mean()) ** 2))
+    r_squared = 1.0 if total == 0.0 else 1.0 - float(np.sum(residuals**2)) / total
+    return LinearFit(slope=slope, intercept=intercept, r_squared=r_squared)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean, the right average for speedup ratios.
+
+    Raises:
+        ValueError: on empty input or non-positive entries.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("geometric mean of empty sequence")
+    if np.any(arr <= 0):
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def summarize(values: Sequence[float]) -> dict:
+    """Mean / median / min / max / std summary for report tables."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize empty sequence")
+    return {
+        "mean": float(arr.mean()),
+        "median": float(np.median(arr)),
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+        "std": float(arr.std()),
+    }

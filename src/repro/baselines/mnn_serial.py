@@ -1,0 +1,58 @@
+"""Vanilla MNN baseline: serial execution on the Big CPU cluster.
+
+The paper's weakest comparator: "since the CPU still outperforms the
+embedded GPU in most mobile consumer devices, this represents the
+vanilla CPU-centric implementation on the Big cores."  Every request
+runs whole, one after another, on the CPU Big cluster.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..core.plan import PipelinePlan, StageAssignment
+from ..hardware.soc import SocSpec
+from ..models.ir import ModelGraph
+from ..profiling.profiler import SocProfiler
+
+
+def plan_mnn_serial(
+    soc: SocSpec,
+    models: Sequence[ModelGraph],
+    profiler: SocProfiler | None = None,
+) -> PipelinePlan:
+    """Build the serial CPU-Big plan for a request sequence.
+
+    The returned plan uses the full processor tuple (so metrics align
+    with the other schemes) but assigns every request entirely to the
+    CPU Big stage; the executor then serializes them on that one unit.
+
+    Raises:
+        ValueError: for an empty request sequence.
+    """
+    if not models:
+        raise ValueError("request sequence must be non-empty")
+    profiler = profiler or SocProfiler(soc)
+    processors = tuple(soc.processors)
+    cpu_stage = next(
+        k for k, p in enumerate(processors) if p.name == soc.cpu_big.name
+    )
+    assignments: List[StageAssignment] = []
+    for model in models:
+        profile = profiler.profile(model)
+        slices: List = [None] * len(processors)
+        slices[cpu_stage] = (0, model.num_layers - 1)
+        assignments.append(StageAssignment(profile=profile, slices=slices))
+    return PipelinePlan(soc=soc, processors=processors, assignments=assignments)
+
+
+def serial_latency_ms(
+    soc: SocSpec,
+    models: Sequence[ModelGraph],
+    profiler: SocProfiler | None = None,
+) -> float:
+    """Closed-form serial latency (no pipeline, no contention)."""
+    profiler = profiler or SocProfiler(soc)
+    return sum(
+        profiler.profile(m).whole_model_ms(soc.cpu_big) for m in models
+    )

@@ -1,0 +1,80 @@
+"""Pipe-it baseline: CPU-only Big/Small pipelining with local search.
+
+Pipe-it (Wang et al., TCAD 2020) pipelines DNN inference across the
+Big and Small CPU clusters.  Following the paper's adaptation, we use
+the whole four-Big / four-Small clusters as the two pipeline stages
+("we adapt the core partitioning strategy for heterogeneous DNNs and
+select the fastest core combination of four Big and four Small cores to
+avoid cache incoherence across the CPU clusters").
+
+Faithful to the original, the per-model split point is found by *local
+search* (hill climbing on the split index) rather than the Hetero2Pipe
+DP, and there is no contention mitigation or vertical re-balancing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.plan import PipelinePlan, StageAssignment
+from ..hardware.soc import SocSpec
+from ..models.ir import ModelGraph
+from ..profiling.profiler import ModelProfile, SocProfiler
+
+
+def local_search_split(
+    profile: ModelProfile, soc: SocSpec
+) -> Tuple[Optional[int], float]:
+    """Hill-climb the Big/Small split point of one model.
+
+    Returns ``(cut, makespan)`` where layers ``[0, cut-1]`` run on the
+    Big cluster and ``[cut, n-1]`` on the Small cluster; ``cut`` may be
+    ``n`` (everything on Big — the usual outcome given the ~5x cluster
+    speed gap) and is never 0 (Pipe-it always anchors on the Big cores).
+    """
+    big, small = soc.cpu_big, soc.cpu_small
+    n = profile.model.num_layers
+
+    def makespan(cut: int) -> float:
+        if cut >= n:
+            return profile.exec_ms(big, 0, n - 1)
+        big_time = profile.slice_cost_ms(big, 0, cut - 1, small)
+        small_time = profile.exec_ms(small, cut, n - 1)
+        return max(big_time, small_time)
+
+    cut = n  # start from all-on-Big, walk the split left while improving
+    best = makespan(cut)
+    while cut > 1:
+        candidate = makespan(cut - 1)
+        if candidate >= best:
+            break
+        best = candidate
+        cut -= 1
+    return (None if cut >= n else cut), best
+
+
+def plan_pipe_it(
+    soc: SocSpec,
+    models: Sequence[ModelGraph],
+    profiler: SocProfiler | None = None,
+) -> PipelinePlan:
+    """Build the Pipe-it two-stage (Big, Small) pipeline plan.
+
+    Raises:
+        ValueError: for an empty request sequence.
+    """
+    if not models:
+        raise ValueError("request sequence must be non-empty")
+    profiler = profiler or SocProfiler(soc)
+    processors = (soc.cpu_big, soc.cpu_small)
+    assignments: List[StageAssignment] = []
+    for model in models:
+        profile = profiler.profile(model)
+        cut, _ = local_search_split(profile, soc)
+        n = model.num_layers
+        if cut is None:
+            slices: List[Optional[Tuple[int, int]]] = [(0, n - 1), None]
+        else:
+            slices = [(0, cut - 1), (cut, n - 1)]
+        assignments.append(StageAssignment(profile=profile, slices=slices))
+    return PipelinePlan(soc=soc, processors=processors, assignments=assignments)

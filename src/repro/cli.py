@@ -1,0 +1,256 @@
+"""Command-line entry point: ``hetero2pipe`` / ``python -m repro.cli``.
+
+Subcommands:
+
+* ``list``                      — available experiments, models, SoCs.
+* ``run <experiment>``          — run one experiment and print its table.
+* ``plan --soc X --models a,b`` — plan a request sequence and show the
+  resulting pipeline plus simulated execution metrics; ``--gantt`` adds
+  an ASCII schedule, ``--trace out.json`` writes a Chrome trace and
+  ``--energy`` an energy breakdown.
+* ``stream --soc X --models ... --interval N`` — windowed streaming
+  planning over an arrival schedule.
+* ``export-model <name> <path>`` — write a zoo model as JSON.
+* ``calibrate --soc X --targets file.json`` — fit per-processor
+  throughput scales to measured latencies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .core.online import StreamingPlanner
+from .core.planner import Hetero2PipePlanner, PlannerConfig
+from .experiments import ALL_EXPERIMENTS
+from .hardware.soc import SOC_NAMES, get_soc
+from .models.zoo import MODEL_NAMES, get_model
+from .runtime.executor import execute_plan
+from .workloads.generator import arrival_times_ms
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("experiments:", ", ".join(sorted(ALL_EXPERIMENTS)))
+    print("models:     ", ", ".join(MODEL_NAMES))
+    print("socs:       ", ", ".join(SOC_NAMES))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    name = args.experiment
+    if name not in ALL_EXPERIMENTS:
+        print(
+            f"unknown experiment {name!r}; options: {sorted(ALL_EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 2
+    module = ALL_EXPERIMENTS[name]
+    print(module.main())
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    soc = get_soc(args.soc)
+    models = [get_model(n.strip()) for n in args.models.split(",") if n.strip()]
+    if not models:
+        print("no models given", file=sys.stderr)
+        return 2
+    config = PlannerConfig()
+    if args.no_ct:
+        config = PlannerConfig.no_contention_or_tail()
+    planner = Hetero2PipePlanner(soc, config)
+    report = planner.plan(models)
+
+    print(f"SoC: {soc.name}   processors: {[p.name for p in soc.processors]}")
+    print(f"execution order: {report.plan.order}")
+    for i, assignment in enumerate(report.plan.assignments):
+        times = assignment.stage_times_ms(report.plan.processors)
+        stages = [
+            f"{report.plan.processors[k].name}[{s[0]}:{s[1]}]={times[k]:.1f}ms"
+            for k, s in enumerate(assignment.slices)
+            if s is not None
+        ]
+        print(f"  {i}: {assignment.model_name:14s} " + "  ".join(stages))
+
+    result = execute_plan(report.plan)
+    print(f"makespan: {result.makespan_ms:.1f} ms")
+    print(f"throughput: {result.throughput_per_s:.2f} inferences/s")
+    for proc in soc.processors:
+        print(f"  utilization {proc.name}: {result.utilization(proc.name) * 100:.0f}%")
+
+    ordered_names = [models[i].name for i in report.plan.order]
+    if args.gantt:
+        from .runtime.tracing import ascii_gantt
+
+        print()
+        print(ascii_gantt(result, ordered_names))
+    if args.trace:
+        from .runtime.tracing import write_chrome_trace
+
+        write_chrome_trace(result, args.trace, ordered_names)
+        print(f"chrome trace written to {args.trace}")
+    if args.energy:
+        from .hardware.energy import estimate_energy
+
+        energy = estimate_energy(result, soc)
+        print(
+            f"energy: {energy.total_mj:.0f} mJ total, "
+            f"{energy.per_inference_mj(len(models)):.0f} mJ/inference "
+            f"({energy.dram_mj:.0f} mJ DRAM)"
+        )
+    return 0
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    soc = get_soc(args.soc)
+    names = [n.strip() for n in args.models.split(",") if n.strip()]
+    if not names:
+        print("no models given", file=sys.stderr)
+        return 2
+    stream = [get_model(n) for n in names]
+    arrivals = arrival_times_ms(len(stream), args.interval)
+    planner = StreamingPlanner(
+        soc,
+        window_size=args.window,
+        coalesce_batches=args.coalesce,
+    )
+    result = planner.run(stream, arrivals)
+    print(
+        f"streamed {len(stream)} requests in {len(result.windows)} windows "
+        f"on {soc.name}"
+    )
+    for window in result.windows:
+        print(
+            f"  window @ req {window.first_request}: dispatch "
+            f"{window.dispatch_ms:8.1f} ms, ran {window.makespan_ms:8.1f} ms"
+        )
+    print(f"makespan: {result.makespan_ms:.1f} ms")
+    print(f"mean request latency: {result.mean_latency_ms():.1f} ms")
+    print(f"throughput: {result.throughput_per_s:.2f} inferences/s")
+    return 0
+
+
+def _cmd_export_model(args: argparse.Namespace) -> int:
+    from .models.serialization import save_model
+
+    try:
+        model = get_model(args.model)
+    except KeyError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    save_model(model, args.path)
+    print(f"wrote {model.name} ({model.num_layers} layers) to {args.path}")
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from .profiling.calibration import CalibrationTarget, calibrate
+
+    soc = get_soc(args.soc)
+    with open(args.targets, "r", encoding="utf-8") as handle:
+        entries = json.load(handle)
+    targets = [
+        CalibrationTarget(
+            model_name=e["model"],
+            processor_name=e["processor"],
+            latency_ms=float(e["latency_ms"]),
+        )
+        for e in entries
+    ]
+    _, report = calibrate(soc, targets)
+    print(f"calibrated {soc.name} against {len(targets)} measurements")
+    for name, scale in sorted(report.scales.items()):
+        print(f"  {name:10s} throughput scale {scale:.3f}")
+    print(
+        f"rms log-error: {report.rms_log_error_before:.4f} -> "
+        f"{report.rms_log_error_after:.4f}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hetero2pipe",
+        description="Hetero2Pipe reproduction: planners, baselines, experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments, models and SoCs")
+
+    run_parser = sub.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", help="experiment id (see `list`)")
+
+    plan_parser = sub.add_parser("plan", help="plan a request sequence")
+    plan_parser.add_argument("--soc", default="kirin990", choices=SOC_NAMES)
+    plan_parser.add_argument(
+        "--models",
+        required=True,
+        help="comma-separated model names (see `list`)",
+    )
+    plan_parser.add_argument(
+        "--no-ct",
+        action="store_true",
+        help="disable contention mitigation and tail optimization",
+    )
+    plan_parser.add_argument(
+        "--gantt", action="store_true", help="print an ASCII schedule"
+    )
+    plan_parser.add_argument(
+        "--trace", metavar="PATH", help="write a Chrome trace JSON"
+    )
+    plan_parser.add_argument(
+        "--energy", action="store_true", help="print an energy breakdown"
+    )
+
+    stream_parser = sub.add_parser(
+        "stream", help="windowed streaming planning over an arrival schedule"
+    )
+    stream_parser.add_argument("--soc", default="kirin990", choices=SOC_NAMES)
+    stream_parser.add_argument("--models", required=True)
+    stream_parser.add_argument(
+        "--interval", type=float, default=30.0, help="inter-arrival ms"
+    )
+    stream_parser.add_argument(
+        "--window", type=int, default=4, help="planning window size"
+    )
+    stream_parser.add_argument(
+        "--coalesce",
+        action="store_true",
+        help="batch runs of identical lightweight requests",
+    )
+
+    export_parser = sub.add_parser(
+        "export-model", help="write a zoo model as JSON"
+    )
+    export_parser.add_argument("model")
+    export_parser.add_argument("path")
+
+    calibrate_parser = sub.add_parser(
+        "calibrate", help="fit processor throughput scales to measurements"
+    )
+    calibrate_parser.add_argument("--soc", default="kirin990", choices=SOC_NAMES)
+    calibrate_parser.add_argument(
+        "--targets",
+        required=True,
+        help="JSON file: [{model, processor, latency_ms}, ...]",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "plan": _cmd_plan,
+        "stream": _cmd_stream,
+        "export-model": _cmd_export_model,
+        "calibrate": _cmd_calibrate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,132 @@
+"""Kuhn–Munkres (Hungarian) algorithm for the Linear Assignment Problem.
+
+Algorithm 2 reduces contention mitigation to a min-cost assignment of
+low-contention models to relocation slots (P3, Eq. 9-10) and solves it
+"by the Kuhn–Munkres Algorithm in O(|M|^3)".  This is a from-scratch
+implementation using the shortest-augmenting-path formulation with dual
+potentials (Jonker-Volgenant style), the standard O(n^3) realization of
+Kuhn–Munkres.
+
+Forbidden pairs are expressed with ``math.inf`` costs; the solver treats
+them as unassignable and raises :class:`InfeasibleAssignmentError` when
+no complete finite-cost assignment of the smaller side exists.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+
+class InfeasibleAssignmentError(ValueError):
+    """No complete assignment avoiding forbidden (infinite-cost) pairs."""
+
+
+def kuhn_munkres(
+    cost: Sequence[Sequence[float]],
+) -> Tuple[List[Tuple[int, int]], float]:
+    """Solve the rectangular linear assignment problem.
+
+    Finds a minimum-total-cost matching that assigns every row (if
+    ``n_rows <= n_cols``) or every column (otherwise) — i.e. a complete
+    matching of the smaller side, like ``scipy.optimize.linear_sum_assignment``.
+
+    Args:
+        cost: 2-D cost matrix; ``math.inf`` marks forbidden pairs.
+
+    Returns:
+        ``(pairs, total)`` where ``pairs`` is a list of ``(row, col)``
+        tuples sorted by row, and ``total`` their summed cost.
+
+    Raises:
+        InfeasibleAssignmentError: if forbidden pairs make a complete
+            matching of the smaller side impossible.
+        ValueError: on empty or ragged input.
+    """
+    matrix = [list(map(float, row)) for row in cost]
+    if not matrix or not matrix[0]:
+        raise ValueError("cost matrix must be non-empty")
+    width = len(matrix[0])
+    if any(len(row) != width for row in matrix):
+        raise ValueError("cost matrix must be rectangular")
+    for row in matrix:
+        for value in row:
+            if math.isnan(value):
+                raise ValueError("cost matrix contains NaN")
+
+    transposed = len(matrix) > width
+    if transposed:
+        matrix = [list(col) for col in zip(*matrix)]
+    n = len(matrix)  # rows (small side)
+    m = len(matrix[0])  # cols
+
+    # Shortest-augmenting-path LAP with potentials.  1-indexed sentinel
+    # column 0 simplifies the augmentation bookkeeping.
+    INF = math.inf
+    u = [0.0] * (n + 1)
+    v = [0.0] * (m + 1)
+    match = [0] * (m + 1)  # match[j] = row assigned to column j (1-indexed)
+
+    for i in range(1, n + 1):
+        match[0] = i
+        j0 = 0
+        mins = [INF] * (m + 1)
+        way = [0] * (m + 1)
+        visited = [False] * (m + 1)
+        while True:
+            visited[j0] = True
+            i0 = match[j0]
+            row = matrix[i0 - 1]
+            delta, j1 = INF, 0
+            for j in range(1, m + 1):
+                if visited[j]:
+                    continue
+                reduced = row[j - 1] - u[i0] - v[j]
+                if reduced < mins[j]:
+                    mins[j] = reduced
+                    way[j] = j0
+                if mins[j] < delta:
+                    delta = mins[j]
+                    j1 = j
+            if math.isinf(delta):
+                raise InfeasibleAssignmentError(
+                    "forbidden pairs leave some row unassignable"
+                )
+            for j in range(m + 1):
+                if visited[j]:
+                    u[match[j]] += delta
+                    v[j] -= delta
+                else:
+                    mins[j] -= delta
+            j0 = j1
+            if match[j0] == 0:
+                break
+        # Augment along the alternating path back to the virtual column.
+        while j0 != 0:
+            j1 = way[j0]
+            match[j0] = match[j1]
+            j0 = j1
+
+    pairs: List[Tuple[int, int]] = []
+    total = 0.0
+    for j in range(1, m + 1):
+        if match[j] != 0:
+            row_idx, col_idx = match[j] - 1, j - 1
+            if transposed:
+                row_idx, col_idx = col_idx, row_idx
+            value = cost[row_idx][col_idx]
+            if math.isinf(value):
+                raise InfeasibleAssignmentError(
+                    "optimal matching uses a forbidden pair"
+                )
+            pairs.append((row_idx, col_idx))
+            total += value
+    pairs.sort()
+    return pairs, total
+
+
+def assignment_cost(
+    cost: Sequence[Sequence[float]], pairs: Sequence[Tuple[int, int]]
+) -> float:
+    """Total cost of a given assignment (validation helper)."""
+    return sum(cost[i][j] for i, j in pairs)

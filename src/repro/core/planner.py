@@ -1,0 +1,176 @@
+"""The Hetero2Pipe planner facade: the paper's two-step optimization.
+
+Orchestrates the full pipeline-planning flow of Fig. 3:
+
+1. **Horizontal** (P1): each request is independently partitioned over
+   the SoC's power-ordered processors by the Algorithm 1 DP.
+2. **Contention scoring**: the Eq. 1 ridge estimator labels requests
+   High/Low contention from their solo PMU features.
+3. **Mitigation** (P3): Algorithm 2 re-orders the sequence so no
+   contention window holds two High requests, at minimum displacement.
+4. **Vertical** (P2): Algorithm 3 steals boundary layers between stages
+   to align co-running slices with the critical path, then exhaustively
+   re-places the draining tail.
+
+Each step can be disabled for the paper's ablations (the "No C/T"
+baseline disables mitigation and tail optimization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..hardware.soc import SocSpec
+from ..models.ir import ModelGraph
+from ..models.zoo import all_models
+from ..profiling.profiler import ModelProfile, SocProfiler
+from ..runtime.schedule import async_makespan_ms
+from .contention import ContentionEstimator, ContentionScore
+from .mitigation import MitigationResult, mitigate_sequence
+from .partition import PartitionResult, partition_model
+from .plan import PipelinePlan, StageAssignment
+from .stealing import optimize_tail, vertical_alignment
+
+
+@dataclass(frozen=True)
+class PlannerConfig:
+    """Feature switches and knobs of the planner.
+
+    Attributes:
+        enable_mitigation: Run Algorithm 2 request re-ordering.
+        enable_work_stealing: Run Algorithm 3 phase 1.
+        enable_tail_optimization: Run Algorithm 3 phase 2.
+        threshold_percentile: H/L split percentile for the estimator.
+        fast_dp: Use the monotonicity-accelerated DP (copy-free costs
+            only); the exact DP is the default.
+    """
+
+    enable_mitigation: bool = True
+    enable_work_stealing: bool = True
+    enable_tail_optimization: bool = True
+    threshold_percentile: float = 60.0
+    fast_dp: bool = False
+
+    @classmethod
+    def no_contention_or_tail(cls) -> "PlannerConfig":
+        """The paper's "Hetero2Pipe (No C/T)" ablation."""
+        return cls(enable_mitigation=False, enable_tail_optimization=False)
+
+
+@dataclass
+class PlanReport:
+    """Planner output bundle: the plan plus per-step diagnostics."""
+
+    plan: PipelinePlan
+    partitions: List[PartitionResult]
+    scores: List[ContentionScore]
+    mitigation: Optional[MitigationResult]
+    stealing_moves: int
+    tail_changed: bool
+
+
+class Hetero2PipePlanner:
+    """Plans multi-DNN pipelines on one SoC.
+
+    Args:
+        soc: Target platform.
+        config: Feature switches; defaults to everything enabled.
+        estimator: Contention estimator; by default one is fitted on the
+            ten-model zoo profiled on this SoC (the paper's offline
+            regression step).
+    """
+
+    def __init__(
+        self,
+        soc: SocSpec,
+        config: Optional[PlannerConfig] = None,
+        estimator: Optional[ContentionEstimator] = None,
+    ):
+        self.soc = soc
+        self.config = config or PlannerConfig()
+        self.profiler = SocProfiler(soc)
+        self.estimator = estimator or ContentionEstimator.fit_from_zoo(
+            soc,
+            all_models(),
+            threshold_percentile=self.config.threshold_percentile,
+        )
+
+    def plan(self, models: Sequence[ModelGraph]) -> PlanReport:
+        """Produce a pipeline plan for a request sequence.
+
+        Args:
+            models: Requests in arrival order.
+
+        Returns:
+            A :class:`PlanReport`; ``report.plan`` is ready for the
+            executor.
+
+        Raises:
+            ValueError: on an empty request sequence or an unplaceable
+                model.
+        """
+        if not models:
+            raise ValueError("request sequence must be non-empty")
+        processors = self.soc.processors
+        profiles = [self.profiler.profile(m) for m in models]
+
+        # Step 1 — horizontal DP per request (P1).
+        partitions = [
+            partition_model(p, processors, fast=self.config.fast_dp)
+            for p in profiles
+        ]
+
+        # Step 2 — contention scoring (Eq. 1).
+        scores = self.estimator.classify(profiles)
+
+        # Step 3 — mitigation re-ordering (P3 / Algorithm 2).  Both the
+        # arrival order and the mitigated order are carried through the
+        # vertical phase; the planner commits to whichever yields the
+        # smaller contention-aware makespan, so re-ordering is only ever
+        # accepted when it actually pays for its displacement.
+        mitigation: Optional[MitigationResult] = None
+        candidate_orders: List[Tuple[int, ...]] = [tuple(range(len(models)))]
+        if self.config.enable_mitigation and len(models) > 1:
+            labels = [s.is_high for s in scores]
+            mitigation = mitigate_sequence(labels, len(processors))
+            if mitigation.order != candidate_orders[0]:
+                candidate_orders.append(mitigation.order)
+
+        best: Optional[Tuple[float, PipelinePlan, int, bool]] = None
+        for order in candidate_orders:
+            plan = PipelinePlan(
+                soc=self.soc,
+                processors=tuple(processors),
+                assignments=[
+                    StageAssignment(
+                        profile=profiles[i], slices=list(partitions[i].slices)
+                    )
+                    for i in order
+                ],
+                order=order,
+            )
+            # Step 4 — vertical alignment (P2 / Algorithm 3).
+            moves, tail_changed = 0, False
+            if self.config.enable_work_stealing:
+                moves, tail_changed = vertical_alignment(
+                    plan,
+                    enable_tail_optimization=self.config.enable_tail_optimization,
+                )
+            elif self.config.enable_tail_optimization:
+                tail_changed = optimize_tail(plan)
+            cost = async_makespan_ms(plan)
+            if best is None or cost < best[0]:
+                best = (cost, plan, moves, tail_changed)
+
+        assert best is not None
+        _, plan, moves, tail_changed = best
+        plan.validate()
+        return PlanReport(
+            plan=plan,
+            partitions=partitions,
+            scores=scores,
+            mitigation=mitigation,
+            stealing_moves=moves,
+            tail_changed=tail_changed,
+        )

@@ -1,0 +1,86 @@
+"""Contention windows (Definition 4) over a request sequence.
+
+On a K-deep pipeline, the slices of request ``j`` temporally overlap
+with requests ``j+1 .. j+K-1`` (they occupy the same execution diagonals).
+The *contention window* of request ``j`` therefore spans ``[j, j+K-1]``;
+two High-contention requests closer than K positions apart will co-run
+at some point and interfere.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def window_bounds(position: int, k: int, length: int) -> Tuple[int, int]:
+    """Inclusive bounds of the contention window anchored at ``position``.
+
+    Raises:
+        ValueError: for invalid anchors or window size.
+    """
+    if k < 1:
+        raise ValueError("window size K must be >= 1")
+    if not 0 <= position < length:
+        raise ValueError(f"anchor {position} out of range [0, {length})")
+    return position, min(position + k - 1, length - 1)
+
+
+def iter_windows(length: int, k: int) -> List[Tuple[int, int]]:
+    """All contention windows of a length-``length`` sequence."""
+    return [window_bounds(j, k, length) for j in range(length)]
+
+
+def high_positions(labels: Sequence[bool]) -> List[int]:
+    """Indices of High-contention requests."""
+    return [i for i, is_high in enumerate(labels) if is_high]
+
+
+def window_high_count(labels: Sequence[bool], position: int, k: int) -> int:
+    """Number of High requests inside the window anchored at ``position``."""
+    lo, hi = window_bounds(position, k, len(labels))
+    return sum(1 for i in range(lo, hi + 1) if labels[i])
+
+
+def violating_windows(labels: Sequence[bool], k: int) -> List[int]:
+    """Anchors of windows holding two or more High requests.
+
+    These are the temporal overlaps Algorithm 2 must break up.
+    """
+    return [
+        j
+        for j in range(len(labels))
+        if window_high_count(labels, j, k) >= 2
+    ]
+
+
+def conflicting_high_pairs(
+    labels: Sequence[bool], k: int
+) -> List[Tuple[int, int]]:
+    """Consecutive High pairs closer than K apart (Property 3's (u, v)).
+
+    For each such pair the mitigation must interleave ``K - d`` Low
+    requests, where ``d = v - u`` is the contention distance.
+    """
+    highs = high_positions(labels)
+    return [
+        (u, v)
+        for u, v in zip(highs, highs[1:])
+        if v - u < k
+    ]
+
+
+def deficit(pair: Tuple[int, int], k: int) -> int:
+    """Number of Low requests needed between a conflicting pair.
+
+    Property 3: with contention distance ``d = v - u``, at least
+    ``K - d`` Low requests must move in between.
+    """
+    u, v = pair
+    if v <= u:
+        raise ValueError(f"pair must be ordered, got {pair}")
+    return max(0, k - (v - u))
+
+
+def is_mitigated(labels: Sequence[bool], k: int) -> bool:
+    """Whether no window holds two or more High requests."""
+    return not conflicting_high_pairs(labels, k)

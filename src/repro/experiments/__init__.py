@@ -1,0 +1,72 @@
+"""Experiment harness: one module per paper table / figure.
+
+========================  =======================================
+module                    reproduces
+========================  =======================================
+fig1_processor_latency    Fig. 1 / Fig. 11 solo latencies
+fig2_motivation           Fig. 2(a) queueing, Fig. 2(b) demands
+table2_slowdown           Table II pairwise slowdowns
+fig7_overall              Fig. 7 overall comparison, 3 SoCs
+fig8_ablation             Fig. 8(a)/(b) vertical ablations
+fig9_memory               Fig. 9 memory frequency / footprint
+fig10_intracluster        Fig. 10 intra-cluster contention
+fig12_bubble_latency      Fig. 12 bubble-latency linearity
+fig13_batching            Fig. 13 lightweight batching
+table1_comparison         Table I capability matrix
+searchspace               Appendix A search-space counts
+========================  =======================================
+"""
+
+from . import (
+    appendix_thermal,
+    ext_energy,
+    ext_optimality,
+    ext_scaling,
+    ext_scenarios,
+    ext_sensitivity,
+    fig1_processor_latency,
+    fig2_motivation,
+    fig7_overall,
+    fig8_ablation,
+    fig9_memory,
+    fig10_intracluster,
+    fig12_bubble_latency,
+    fig13_batching,
+    searchspace,
+    table1_comparison,
+    table2_slowdown,
+)
+
+ALL_EXPERIMENTS = {
+    "appendix_thermal": appendix_thermal,
+    "ext_energy": ext_energy,
+    "ext_optimality": ext_optimality,
+    "ext_scaling": ext_scaling,
+    "ext_scenarios": ext_scenarios,
+    "ext_sensitivity": ext_sensitivity,
+    "fig1": fig1_processor_latency,
+    "fig2": fig2_motivation,
+    "table2": table2_slowdown,
+    "fig7": fig7_overall,
+    "fig8": fig8_ablation,
+    "fig9": fig9_memory,
+    "fig10": fig10_intracluster,
+    "fig12": fig12_bubble_latency,
+    "fig13": fig13_batching,
+    "table1": table1_comparison,
+    "searchspace": searchspace,
+}
+
+__all__ = ["ALL_EXPERIMENTS"] + [
+    "fig1_processor_latency",
+    "fig2_motivation",
+    "table2_slowdown",
+    "fig7_overall",
+    "fig8_ablation",
+    "fig9_memory",
+    "fig10_intracluster",
+    "fig12_bubble_latency",
+    "fig13_batching",
+    "table1_comparison",
+    "searchspace",
+]

@@ -1,0 +1,189 @@
+"""Fig. 7: overall latency/throughput comparison on three SoCs.
+
+Runs random multi-DNN combinations through every scheme — vanilla MNN
+(serial CPU Big), Pipe-it (Big/Small CPU pipeline), Band (greedy
+NPU-fallback mapping), Hetero2Pipe without contention mitigation / tail
+optimization ("No C/T"), and full Hetero2Pipe — on the same simulator,
+and aggregates latency, throughput and relative speedups.  The final
+section extracts the Band-vs-Hetero2Pipe solution scatter of the
+rightmost subplots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..baselines.band import execute_band
+from ..baselines.mnn_serial import plan_mnn_serial
+from ..baselines.pipe_it import plan_pipe_it
+from ..core.planner import Hetero2PipePlanner, PlannerConfig
+from ..hardware.soc import SOC_NAMES, SocSpec, get_soc
+from ..profiling.profiler import SocProfiler
+from ..runtime.executor import execute_plan
+from ..workloads.generator import WorkloadSpec, sample_combinations
+from .common import format_table, geomean
+
+SCHEMES = ("mnn", "pipe_it", "band", "h2p_no_ct", "h2p")
+
+
+@dataclass(frozen=True)
+class SchemeResult:
+    """One scheme's measurement on one workload."""
+
+    latency_ms: float
+    throughput_per_s: float
+
+
+@dataclass
+class WorkloadResult:
+    """All schemes on one workload."""
+
+    spec: WorkloadSpec
+    by_scheme: Dict[str, SchemeResult]
+
+
+@dataclass
+class SocSummary:
+    """Aggregates for one platform (one column group of Fig. 7)."""
+
+    soc_name: str
+    results: List[WorkloadResult]
+
+    def mean_latency_ms(self, scheme: str) -> float:
+        values = [r.by_scheme[scheme].latency_ms for r in self.results]
+        return sum(values) / len(values)
+
+    def mean_throughput(self, scheme: str) -> float:
+        values = [r.by_scheme[scheme].throughput_per_s for r in self.results]
+        return sum(values) / len(values)
+
+    def speedup_over(self, scheme: str) -> Tuple[float, float, float]:
+        """(geomean, max, min) speedup of full H2P over one scheme."""
+        ratios = [
+            r.by_scheme[scheme].latency_ms / r.by_scheme["h2p"].latency_ms
+            for r in self.results
+        ]
+        return geomean(ratios), max(ratios), min(ratios)
+
+    def band_scatter(self, fraction: float = 0.3) -> List[Tuple[float, float]]:
+        """(band, h2p) latency pairs for a deterministic subset."""
+        step = max(1, int(round(1.0 / fraction)))
+        return [
+            (
+                r.by_scheme["band"].latency_ms,
+                r.by_scheme["h2p"].latency_ms,
+            )
+            for r in self.results[::step]
+        ]
+
+
+def run_workload(
+    soc: SocSpec,
+    spec: WorkloadSpec,
+    profiler: SocProfiler,
+    planner: Hetero2PipePlanner,
+    planner_no_ct: Hetero2PipePlanner,
+) -> WorkloadResult:
+    """Evaluate every scheme on one workload."""
+    models = spec.models()
+
+    def wrap(result) -> SchemeResult:
+        return SchemeResult(
+            latency_ms=result.makespan_ms,
+            throughput_per_s=result.throughput_per_s,
+        )
+
+    by_scheme = {
+        "mnn": wrap(execute_plan(plan_mnn_serial(soc, models, profiler))),
+        "pipe_it": wrap(execute_plan(plan_pipe_it(soc, models, profiler))),
+        "band": wrap(execute_band(soc, models, profiler)),
+        "h2p_no_ct": wrap(execute_plan(planner_no_ct.plan(models).plan)),
+        "h2p": wrap(execute_plan(planner.plan(models).plan)),
+    }
+    return WorkloadResult(spec=spec, by_scheme=by_scheme)
+
+
+def run(
+    soc_names: Sequence[str] = SOC_NAMES,
+    num_combinations: int = 100,
+    seed: int = 2025,
+) -> List[SocSummary]:
+    """Run the full Fig. 7 sweep.
+
+    Args:
+        soc_names: Platforms to evaluate (default: all three).
+        num_combinations: Random combinations per platform (paper: 100).
+        seed: Workload sampling seed.
+    """
+    specs = sample_combinations(count=num_combinations, seed=seed)
+    summaries: List[SocSummary] = []
+    for soc_name in soc_names:
+        soc = get_soc(soc_name)
+        profiler = SocProfiler(soc)
+        planner = Hetero2PipePlanner(soc)
+        planner_no_ct = Hetero2PipePlanner(
+            soc, PlannerConfig.no_contention_or_tail()
+        )
+        results = [
+            run_workload(soc, spec, profiler, planner, planner_no_ct)
+            for spec in specs
+        ]
+        summaries.append(SocSummary(soc_name=soc_name, results=results))
+    return summaries
+
+
+def render(summaries: List[SocSummary]) -> str:
+    sections: List[str] = []
+    for summary in summaries:
+        headers = ["scheme", "mean_latency_ms", "mean_throughput_/s"]
+        body = [
+            [s, summary.mean_latency_ms(s), summary.mean_throughput(s)]
+            for s in SCHEMES
+        ]
+        table = format_table(headers, body)
+        speed_lines = []
+        for scheme in ("mnn", "pipe_it", "band", "h2p_no_ct"):
+            gm, hi, lo = summary.speedup_over(scheme)
+            speed_lines.append(
+                f"  H2P speedup vs {scheme}: {gm:.2f}x geomean "
+                f"(max {hi:.2f}x, min {lo:.2f}x)"
+            )
+        sections.append(
+            f"=== {summary.soc_name} ===\n{table}\n" + "\n".join(speed_lines)
+        )
+    return "\n\n".join(sections)
+
+
+def render_charts(summaries: List[SocSummary]) -> str:
+    """Fig. 7's latency bars plus the Band-vs-H2P scatter."""
+    from ..analysis.charts import grouped_bar_chart, scatter_plot
+
+    groups = [
+        (
+            summary.soc_name,
+            [(scheme, summary.mean_latency_ms(scheme)) for scheme in SCHEMES],
+        )
+        for summary in summaries
+    ]
+    text = grouped_bar_chart(groups, width=40, unit=" ms")
+    scatter = summaries[0].band_scatter(fraction=0.3)
+    if len(scatter) >= 2:
+        text += (
+            f"\n\nBand (x) vs Hetero2Pipe (y) latency scatter on "
+            f"{summaries[0].soc_name}:\n"
+            + scatter_plot(
+                scatter, width=46, height=12,
+                x_label="band ms", y_label="h2p ms",
+            )
+        )
+    return text
+
+
+def main(num_combinations: int = 30) -> str:
+    summaries = run(num_combinations=num_combinations)
+    return render(summaries) + "\n\n" + render_charts(summaries)
+
+
+if __name__ == "__main__":
+    print(main())

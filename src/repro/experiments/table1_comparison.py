@@ -1,0 +1,111 @@
+"""Table I: qualitative comparison of on-device inference schemes.
+
+Regenerates the capability matrix from the baseline registry so the
+documentation stays in sync with what is actually implemented.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .common import format_table
+
+
+@dataclass(frozen=True)
+class SchemeCapabilities:
+    """One row of Table I."""
+
+    name: str
+    processors: str
+    multi_dnn: bool
+    dnn_heterogeneity: bool
+    pipeline: bool
+    contention: bool
+    algorithm: str
+    implemented: bool
+
+
+#: The subset of Table I reproduced in this repository, plus the rows
+#: the paper lists for context (implemented=False).
+SCHEMES: Tuple[SchemeCapabilities, ...] = (
+    SchemeCapabilities(
+        "Pipe-it", "CPU", True, False, True, False, "Local Search", True
+    ),
+    SchemeCapabilities(
+        "MASA", "CPU", True, True, False, False, "BinPacking", False
+    ),
+    SchemeCapabilities(
+        "EdgePipe", "CPU", True, False, True, False, "DP", False
+    ),
+    SchemeCapabilities(
+        "Gillis", "CPU", True, False, True, False, "DP", False
+    ),
+    SchemeCapabilities(
+        "uLayer", "CPU, GPU", False, False, False, False, "DP", True
+    ),
+    SchemeCapabilities(
+        "PICO", "CPU", True, False, True, False, "DP", False
+    ),
+    SchemeCapabilities(
+        "DART", "CPU, GPU", True, False, False, False, "DP", False
+    ),
+    SchemeCapabilities(
+        "BlasNet", "CPU, GPU", True, False, False, False, "DARTS", False
+    ),
+    SchemeCapabilities(
+        "Band", "CPU, GPU, NPU", True, True, False, False, "Greedy", True
+    ),
+    SchemeCapabilities(
+        "Hetero2Pipe",
+        "CPU, GPU, NPU",
+        True,
+        True,
+        True,
+        True,
+        "DP+Work Stealing",
+        True,
+    ),
+)
+
+
+def run() -> List[SchemeCapabilities]:
+    return list(SCHEMES)
+
+
+def render(rows: List[SchemeCapabilities]) -> str:
+    def mark(flag: bool) -> str:
+        return "yes" if flag else "no"
+
+    headers = [
+        "scheme",
+        "processors",
+        "multi-DNN",
+        "DNN-hetero",
+        "pipeline",
+        "contention",
+        "algorithm",
+        "in-repo",
+    ]
+    body = [
+        [
+            r.name,
+            r.processors,
+            mark(r.multi_dnn),
+            mark(r.dnn_heterogeneity),
+            mark(r.pipeline),
+            mark(r.contention),
+            r.algorithm,
+            mark(r.implemented),
+        ]
+        for r in rows
+    ]
+    return format_table(headers, body)
+
+
+def main() -> str:
+    return render(run())
+
+
+if __name__ == "__main__":
+    print(main())

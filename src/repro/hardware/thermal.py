@@ -1,0 +1,67 @@
+"""Thermal throttling model (Appendix B of the paper).
+
+Continuous inference drives the CPU above 60 degC with visible frequency
+throttling, while the GPU/NPU stay under ~50 degC.  The paper sidesteps
+transient effects by measuring at thermal steady state; we model exactly
+that steady state: a first-order thermal RC whose equilibrium temperature
+determines a sustained-frequency scale factor per processor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .processor import ProcessorKind
+
+#: Ambient / idle temperature of the SoC package (degC).
+AMBIENT_C = 30.0
+
+#: Per-kind thermal parameters: (heating per unit utilization at full load
+#: in degC, throttle onset temperature in degC, throttle slope per degC).
+_THERMAL_PARAMS = {
+    ProcessorKind.CPU_BIG: (42.0, 60.0, 0.020),
+    ProcessorKind.CPU_SMALL: (22.0, 65.0, 0.012),
+    ProcessorKind.GPU: (18.0, 70.0, 0.010),
+    ProcessorKind.NPU: (15.0, 75.0, 0.008),
+}
+
+#: Never throttle below this fraction of nominal frequency.
+_MIN_SCALE = 0.60
+
+
+@dataclass(frozen=True)
+class ThermalState:
+    """Steady-state thermal condition of one processor."""
+
+    kind: ProcessorKind
+    temperature_c: float
+    frequency_scale: float
+
+
+def steady_state(kind: ProcessorKind, utilization: float) -> ThermalState:
+    """Steady-state temperature and frequency scale at a given utilization.
+
+    Args:
+        kind: Processor class.
+        utilization: Sustained busy fraction in [0, 1].
+
+    Returns:
+        The equilibrium :class:`ThermalState`.  CPU Big at full load
+        settles above 60 degC with a ~15 % sustained-frequency loss;
+        GPU/NPU stay below throttle onset — matching Fig. 11's narrative.
+
+    Raises:
+        ValueError: if utilization is outside [0, 1].
+    """
+    if not 0.0 <= utilization <= 1.0:
+        raise ValueError(f"utilization must be in [0, 1], got {utilization}")
+    heating, onset, slope = _THERMAL_PARAMS[kind]
+    temperature = AMBIENT_C + heating * utilization
+    overshoot = max(0.0, temperature - onset)
+    scale = max(_MIN_SCALE, 1.0 - slope * overshoot)
+    return ThermalState(kind=kind, temperature_c=temperature, frequency_scale=scale)
+
+
+def sustained_frequency_scale(kind: ProcessorKind, utilization: float = 1.0) -> float:
+    """Shortcut: the frequency scale of :func:`steady_state`."""
+    return steady_state(kind, utilization).frequency_scale

@@ -1,0 +1,216 @@
+"""Parameterized architecture families (depth / width variants).
+
+The evaluation zoo pins each architecture at its published size; this
+module exposes the families as generators so studies can sweep model
+scale — e.g. how partition shape changes from ResNet-18 to ResNet-101,
+or how a 6-layer DistilBERT pipelines differently from BERT-base.
+
+Variants are plain :class:`~repro.models.ir.ModelGraph` objects built
+with the same block helpers as the zoo, so every planner feature works
+on them unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from . import flops as F
+from .ir import Layer, ModelGraph, OpType
+from .zoo import (
+    _bottleneck_block,
+    _conv_layer,
+    _fc_layer,
+    _pool_layer,
+    _transformer_encoder_block,
+)
+
+#: Residual-stage block counts per published ResNet depth.
+_RESNET_STAGES: Dict[int, Tuple[int, int, int, int]] = {
+    18: (2, 2, 2, 2),
+    34: (3, 4, 6, 3),
+    50: (3, 4, 6, 3),
+    101: (3, 4, 23, 3),
+    152: (3, 8, 36, 3),
+}
+
+#: Conv counts per VGG stage for the published depths.
+_VGG_STAGES: Dict[int, Tuple[int, ...]] = {
+    11: (1, 1, 2, 2, 2),
+    13: (2, 2, 2, 2, 2),
+    16: (2, 2, 3, 3, 3),
+    19: (2, 2, 4, 4, 4),
+}
+
+
+def build_resnet(depth: int = 50) -> ModelGraph:
+    """A ResNet of any published depth (18/34/50/101/152).
+
+    Depths below 50 use basic blocks in the published architecture; for
+    slicing purposes we keep the fused-bottleneck representation with
+    proportional cost, which preserves per-stage FLOP totals within a
+    few percent.
+
+    Raises:
+        KeyError: for unpublished depths.
+    """
+    if depth not in _RESNET_STAGES:
+        raise KeyError(
+            f"unknown ResNet depth {depth}; options: {sorted(_RESNET_STAGES)}"
+        )
+    counts = _RESNET_STAGES[depth]
+    layers: List[Layer] = []
+    layer, dim = _conv_layer("stem_conv", 3, 64, 7, 224, 2, 3)
+    layers.append(layer)
+    pool, dim = _pool_layer("stem_pool", 64, dim, 3, 2, 1)
+    layers.append(pool)
+    stage_params = [
+        (counts[0], 64, 256, 1),
+        (counts[1], 128, 512, 2),
+        (counts[2], 256, 1024, 2),
+        (counts[3], 512, 2048, 2),
+    ]
+    in_ch = 64
+    for stage_no, (count, mid, out, first_stride) in enumerate(
+        stage_params, start=2
+    ):
+        for rep in range(count):
+            stride = first_stride if rep == 0 else 1
+            block, dim = _bottleneck_block(
+                f"res{stage_no}_{rep + 1}", in_ch, mid, out, dim, stride
+            )
+            layers.append(block)
+            in_ch = out
+    pool, dim = _pool_layer("global_pool", in_ch, dim, dim, 1)
+    layers.append(pool)
+    layers.append(_fc_layer("fc", in_ch, 1000))
+    return ModelGraph(
+        name=f"resnet{depth}",
+        layers=tuple(layers),
+        family="cnn",
+        input_bytes=F.tensor_bytes(3, 224, 224),
+    )
+
+
+def build_vgg(depth: int = 16) -> ModelGraph:
+    """A VGG of any published depth (11/13/16/19).
+
+    Raises:
+        KeyError: for unpublished depths.
+    """
+    if depth not in _VGG_STAGES:
+        raise KeyError(
+            f"unknown VGG depth {depth}; options: {sorted(_VGG_STAGES)}"
+        )
+    stage_counts = _VGG_STAGES[depth]
+    channels_per_stage = (64, 128, 256, 512, 512)
+    layers: List[Layer] = []
+    dim = 224
+    in_ch = 3
+    for stage_no, (channels, count) in enumerate(
+        zip(channels_per_stage, stage_counts), start=1
+    ):
+        for rep in range(count):
+            layer, dim = _conv_layer(
+                f"conv{stage_no}_{rep + 1}", in_ch, channels, 3, dim, 1, 1
+            )
+            layers.append(layer)
+            in_ch = channels
+        pool, dim = _pool_layer(f"pool{stage_no}", channels, dim, 2, 2)
+        layers.append(pool)
+    feat = in_ch * dim * dim
+    layers.append(_fc_layer("fc6", feat, 4096))
+    layers.append(_fc_layer("fc7", 4096, 4096))
+    layers.append(_fc_layer("fc8", 4096, 1000))
+    return ModelGraph(
+        name=f"vgg{depth}",
+        layers=tuple(layers),
+        family="cnn",
+        input_bytes=F.tensor_bytes(3, 224, 224),
+    )
+
+
+def build_bert_variant(
+    num_layers: int = 12,
+    hidden: int = 768,
+    seq_len: int = 128,
+    name: str | None = None,
+) -> ModelGraph:
+    """A BERT-family encoder of configurable depth/width.
+
+    ``num_layers=6, hidden=768`` approximates DistilBERT;
+    ``num_layers=24, hidden=1024`` approximates BERT-large.  Masked
+    attention keeps every variant NPU-incompatible, like the base model.
+
+    Raises:
+        ValueError: for non-positive dimensions.
+    """
+    if num_layers < 1 or hidden < 1 or seq_len < 1:
+        raise ValueError("num_layers, hidden and seq_len must be positive")
+    heads = max(1, hidden // 64)
+    intermediate = hidden * 4
+    vocab = 30522
+    layers: List[Layer] = [
+        Layer(
+            name="embedding",
+            op=OpType.EMBEDDING,
+            flops=F.elementwise_flops(seq_len, hidden) * 3,
+            weight_bytes=F.tensor_bytes(vocab, hidden)
+            + F.tensor_bytes(512, hidden),
+            activation_bytes=2 * F.tensor_bytes(seq_len, hidden),
+            output_bytes=F.tensor_bytes(seq_len, hidden),
+            output_shape=(seq_len, hidden),
+        )
+    ]
+    for i in range(num_layers):
+        layers.append(
+            _transformer_encoder_block(
+                f"encoder{i + 1}", seq_len, hidden, heads, intermediate,
+                masked=True,
+            )
+        )
+    layers.append(_fc_layer("pooler", hidden, hidden))
+    return ModelGraph(
+        name=name or f"bert_l{num_layers}_h{hidden}",
+        layers=tuple(layers),
+        family="transformer",
+        input_bytes=F.tensor_bytes(seq_len) * 2,
+    )
+
+
+def build_vit_variant(
+    num_layers: int = 12,
+    hidden: int = 768,
+    patch: int = 16,
+    name: str | None = None,
+) -> ModelGraph:
+    """A ViT-family encoder of configurable depth/width/patch size.
+
+    ``num_layers=12, hidden=192`` approximates ViT-Tiny;
+    ``num_layers=24, hidden=1024`` approximates ViT-Large.
+
+    Raises:
+        ValueError: for invalid dimensions.
+    """
+    if num_layers < 1 or hidden < 1:
+        raise ValueError("num_layers and hidden must be positive")
+    if 224 % patch != 0:
+        raise ValueError("patch size must divide 224")
+    seq_len = (224 // patch) ** 2 + 1
+    heads = max(1, hidden // 64)
+    intermediate = hidden * 4
+    patch_embed, _ = _conv_layer("patch_embed", 3, hidden, patch, 224, patch, 0)
+    layers: List[Layer] = [patch_embed]
+    for i in range(num_layers):
+        layers.append(
+            _transformer_encoder_block(
+                f"encoder{i + 1}", seq_len, hidden, heads, intermediate,
+                masked=False,
+            )
+        )
+    layers.append(_fc_layer("head", hidden, 1000))
+    return ModelGraph(
+        name=name or f"vit_l{num_layers}_h{hidden}_p{patch}",
+        layers=tuple(layers),
+        family="transformer",
+        input_bytes=F.tensor_bytes(3, 224, 224),
+    )

@@ -1,0 +1,50 @@
+"""Solo-execution profiling and co-execution slowdown modelling."""
+
+from .calibration import CalibrationReport, CalibrationTarget, calibrate
+from .latency import (
+    MAX_AMPLIFICATION,
+    copy_latency_ms,
+    layer_latency_ms,
+    layer_traffic_bytes,
+    traffic_amplification,
+)
+from .pmu import PerfCounters, ground_truth_intensity, measure_counters
+from .report import LayerReport, ModelReport, profile_report, render_report
+from .profiler import INFEASIBLE, ModelProfile, SocProfiler
+from .slowdown import (
+    MAX_SLOWDOWN,
+    REFERENCE_BANDWIDTH_GBPS,
+    SliceWorkload,
+    co_execution_ms,
+    intra_cluster_slowdown,
+    pairwise_slowdown_table,
+    slowdown_fraction,
+)
+
+__all__ = [
+    "CalibrationReport",
+    "CalibrationTarget",
+    "calibrate",
+    "MAX_AMPLIFICATION",
+    "copy_latency_ms",
+    "layer_latency_ms",
+    "layer_traffic_bytes",
+    "traffic_amplification",
+    "PerfCounters",
+    "LayerReport",
+    "ModelReport",
+    "profile_report",
+    "render_report",
+    "ground_truth_intensity",
+    "measure_counters",
+    "INFEASIBLE",
+    "ModelProfile",
+    "SocProfiler",
+    "MAX_SLOWDOWN",
+    "REFERENCE_BANDWIDTH_GBPS",
+    "SliceWorkload",
+    "co_execution_ms",
+    "intra_cluster_slowdown",
+    "pairwise_slowdown_table",
+    "slowdown_fraction",
+]

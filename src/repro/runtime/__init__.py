@@ -1,0 +1,64 @@
+"""Pipeline execution substrate: timetables, event simulation, metrics."""
+
+from .executor import (
+    ChainTask,
+    ExecutionResult,
+    PipelineExecutor,
+    TaskRecord,
+    TracePoint,
+    execute_plan,
+    plan_to_chains,
+    simulate_chains,
+)
+from .metrics import ComparisonMatrix, Scheme, compare_schemes, standard_schemes
+from .replay import (
+    IdleGap,
+    Timeline,
+    build_timeline,
+    concurrency_profile,
+    critical_chain,
+    utilization_summary,
+)
+from .tracing import ascii_gantt, to_chrome_trace, write_chrome_trace
+from .schedule import (
+    DiagonalCell,
+    DiagonalColumn,
+    SynchronousSchedule,
+    async_makespan_ms,
+    build_schedule,
+    plan_bubbles_ms,
+    plan_makespan_ms,
+    tail_bubble_ms,
+)
+
+__all__ = [
+    "ChainTask",
+    "ExecutionResult",
+    "PipelineExecutor",
+    "TaskRecord",
+    "TracePoint",
+    "execute_plan",
+    "plan_to_chains",
+    "simulate_chains",
+    "ComparisonMatrix",
+    "IdleGap",
+    "Timeline",
+    "build_timeline",
+    "concurrency_profile",
+    "critical_chain",
+    "utilization_summary",
+    "Scheme",
+    "compare_schemes",
+    "standard_schemes",
+    "ascii_gantt",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "DiagonalCell",
+    "DiagonalColumn",
+    "SynchronousSchedule",
+    "async_makespan_ms",
+    "build_schedule",
+    "plan_bubbles_ms",
+    "plan_makespan_ms",
+    "tail_bubble_ms",
+]

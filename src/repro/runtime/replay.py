@@ -1,0 +1,151 @@
+"""Post-hoc timeline analysis of executed schedules.
+
+Given an :class:`~repro.runtime.executor.ExecutionResult`, reconstructs
+the per-processor timeline: busy intervals, the idle gaps between them
+(the concrete bubbles of Definition 3, with start/end timestamps), a
+sampled concurrency profile, and the critical chain of records that
+determined the makespan.  The examples and experiments use this to
+explain *where* a schedule lost its time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .executor import ExecutionResult, TaskRecord
+
+
+@dataclass(frozen=True)
+class IdleGap:
+    """One bubble: a processor idle between two of its tasks."""
+
+    processor: str
+    start_ms: float
+    end_ms: float
+    before_request: int  # request whose task follows the gap
+
+    @property
+    def duration_ms(self) -> float:
+        return self.end_ms - self.start_ms
+
+
+@dataclass(frozen=True)
+class Timeline:
+    """Reconstructed execution timeline."""
+
+    makespan_ms: float
+    gaps: Tuple[IdleGap, ...]
+    busy_ms: Dict[str, float]
+
+    @property
+    def total_gap_ms(self) -> float:
+        return sum(g.duration_ms for g in self.gaps)
+
+    def gaps_on(self, processor: str) -> List[IdleGap]:
+        return [g for g in self.gaps if g.processor == processor]
+
+    def largest_gaps(self, count: int = 5) -> List[IdleGap]:
+        return sorted(self.gaps, key=lambda g: g.duration_ms, reverse=True)[
+            :count
+        ]
+
+
+def build_timeline(result: "ExecutionResult") -> Timeline:
+    """Reconstruct per-processor idle gaps from the task records."""
+    by_proc: Dict[str, List["TaskRecord"]] = {}
+    for record in result.records:
+        by_proc.setdefault(record.processor, []).append(record)
+
+    gaps: List[IdleGap] = []
+    for processor, records in by_proc.items():
+        records = sorted(records, key=lambda r: r.start_ms)
+        for earlier, later in zip(records, records[1:]):
+            if later.start_ms > earlier.finish_ms + 1e-9:
+                gaps.append(
+                    IdleGap(
+                        processor=processor,
+                        start_ms=earlier.finish_ms,
+                        end_ms=later.start_ms,
+                        before_request=later.request,
+                    )
+                )
+    return Timeline(
+        makespan_ms=result.makespan_ms,
+        gaps=tuple(sorted(gaps, key=lambda g: g.start_ms)),
+        busy_ms=dict(result.processor_busy_ms),
+    )
+
+
+def concurrency_profile(
+    result: "ExecutionResult", samples: int = 50
+) -> List[Tuple[float, int]]:
+    """(time, number of simultaneously running slices) samples.
+
+    Raises:
+        ValueError: for non-positive sample counts.
+    """
+    if samples < 1:
+        raise ValueError("samples must be >= 1")
+    if not result.records or result.makespan_ms <= 0:
+        return [(0.0, 0)]
+    points: List[Tuple[float, int]] = []
+    for i in range(samples):
+        t = result.makespan_ms * i / max(1, samples - 1)
+        active = sum(
+            1
+            for r in result.records
+            if r.start_ms <= t < r.finish_ms
+        )
+        points.append((t, active))
+    return points
+
+
+def critical_chain(result: "ExecutionResult") -> List["TaskRecord"]:
+    """The chain of records ending at the makespan, walked backwards.
+
+    From the record that finishes last, repeatedly steps to the record
+    that *enabled* its start: the same request's previous stage if it
+    finished exactly at the start, otherwise the record occupying the
+    same processor immediately before.  The result is the sequence of
+    tasks that directly determined the makespan — lengthening any of
+    them lengthens the run.
+    """
+    if not result.records:
+        return []
+    records = sorted(result.records, key=lambda r: r.finish_ms)
+    chain: List["TaskRecord"] = [records[-1]]
+    tolerance = 1e-6
+    while True:
+        current = chain[-1]
+        predecessor = None
+        for record in records:
+            if record is current:
+                continue
+            enables_by_chain = (
+                record.request == current.request
+                and abs(record.finish_ms - current.start_ms) <= tolerance
+            )
+            enables_by_proc = (
+                record.processor == current.processor
+                and abs(record.finish_ms - current.start_ms) <= tolerance
+            )
+            if enables_by_chain or enables_by_proc:
+                predecessor = record
+                break
+        if predecessor is None or current.start_ms <= tolerance:
+            break
+        chain.append(predecessor)
+    chain.reverse()
+    return chain
+
+
+def utilization_summary(result: "ExecutionResult") -> Dict[str, float]:
+    """Busy fraction per processor over the makespan."""
+    if result.makespan_ms <= 0:
+        return {name: 0.0 for name in result.processor_busy_ms}
+    return {
+        name: busy / result.makespan_ms
+        for name, busy in result.processor_busy_ms.items()
+    }

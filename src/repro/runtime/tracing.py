@@ -1,0 +1,133 @@
+"""Execution-trace export: Chrome trace JSON and ASCII Gantt charts.
+
+Turns an :class:`~repro.runtime.executor.ExecutionResult` into artifacts
+a human can inspect: the Chrome tracing format (open ``chrome://tracing``
+or Perfetto and drop the file in) and a terminal Gantt rendering used by
+the examples.  Both views make pipeline bubbles visible as gaps in a
+processor's row.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .executor import ExecutionResult
+
+
+def to_chrome_trace(
+    result: "ExecutionResult",
+    request_names: Optional[Sequence[str]] = None,
+) -> str:
+    """Serialize a run as a Chrome trace (JSON string).
+
+    Args:
+        result: The simulated execution.
+        request_names: Optional display names per request (model names);
+            defaults to ``request <i>``.
+
+    Returns:
+        A JSON document in the Chrome tracing "traceEvents" format with
+        one track (tid) per processor; durations are microseconds.
+
+    Raises:
+        ValueError: if ``request_names`` has the wrong length.
+    """
+    if request_names is not None and len(request_names) != result.num_requests:
+        raise ValueError(
+            f"expected {result.num_requests} names, got {len(request_names)}"
+        )
+
+    def name_of(request: int) -> str:
+        if request_names is not None:
+            return request_names[request]
+        return f"request {request}"
+
+    processors = sorted({r.processor for r in result.records})
+    tids = {name: i for i, name in enumerate(processors)}
+    events: List[Dict] = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": tid,
+            "args": {"name": proc},
+        }
+        for proc, tid in tids.items()
+    ]
+    for rec in sorted(result.records, key=lambda r: r.start_ms):
+        events.append(
+            {
+                "name": f"{name_of(rec.request)} / stage {rec.stage}",
+                "cat": "slice",
+                "ph": "X",
+                "pid": 0,
+                "tid": tids[rec.processor],
+                "ts": rec.start_ms * 1000.0,
+                "dur": rec.duration_ms * 1000.0,
+                "args": {
+                    "request": rec.request,
+                    "solo_ms": rec.solo_ms,
+                    "slowdown": round(rec.slowdown, 4),
+                },
+            }
+        )
+    return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"})
+
+
+def ascii_gantt(
+    result: "ExecutionResult",
+    request_names: Optional[Sequence[str]] = None,
+    width: int = 72,
+) -> str:
+    """Render the run as a terminal Gantt chart.
+
+    One row per processor; each request's slices are drawn with its
+    digit/letter; idle time shows as dots (the visible bubbles).
+
+    Raises:
+        ValueError: for non-positive width or misfit names.
+    """
+    if width < 10:
+        raise ValueError("width must be >= 10")
+    if request_names is not None and len(request_names) != result.num_requests:
+        raise ValueError(
+            f"expected {result.num_requests} names, got {len(request_names)}"
+        )
+    span = result.makespan_ms
+    if span <= 0:
+        return "(empty run)"
+
+    glyphs = "0123456789abcdefghijklmnopqrstuvwxyz"
+    processors = sorted({r.processor for r in result.records})
+    label_width = max(len(p) for p in processors)
+    lines = []
+    for proc in processors:
+        row = ["."] * width
+        for rec in result.records:
+            if rec.processor != proc:
+                continue
+            lo = int(rec.start_ms / span * width)
+            hi = max(lo + 1, int(rec.finish_ms / span * width))
+            glyph = glyphs[rec.request % len(glyphs)]
+            for pos in range(lo, min(hi, width)):
+                row[pos] = glyph
+        lines.append(f"{proc:<{label_width}s} |{''.join(row)}|")
+    legend = ", ".join(
+        f"{glyphs[i % len(glyphs)]}={request_names[i] if request_names else i}"
+        for i in range(result.num_requests)
+    )
+    lines.append(f"{'':<{label_width}s}  0 ms {'-' * (width - 16)} {span:.0f} ms")
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def write_chrome_trace(
+    result: "ExecutionResult",
+    path: str,
+    request_names: Optional[Sequence[str]] = None,
+) -> None:
+    """Write the Chrome trace JSON to a file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_chrome_trace(result, request_names))

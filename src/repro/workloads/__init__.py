@@ -1,0 +1,28 @@
+"""Workload generation: random combinations, arrivals, batching."""
+
+from .batching import (
+    BatchLatency,
+    batched_model,
+    coalesce_stream,
+    batch_latency_model,
+    batch_size_to_match,
+    latency_growth_rates,
+)
+from .generator import WorkloadSpec, arrival_times_ms, sample_combinations
+from .scenarios import SCENARIOS, Scenario, all_scenarios, get_scenario
+
+__all__ = [
+    "BatchLatency",
+    "batched_model",
+    "coalesce_stream",
+    "batch_latency_model",
+    "batch_size_to_match",
+    "latency_growth_rates",
+    "WorkloadSpec",
+    "SCENARIOS",
+    "Scenario",
+    "all_scenarios",
+    "get_scenario",
+    "arrival_times_ms",
+    "sample_combinations",
+]

@@ -1,0 +1,133 @@
+"""Tests for the from-scratch Kuhn-Munkres solver."""
+
+import itertools
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.assignment import (
+    InfeasibleAssignmentError,
+    assignment_cost,
+    kuhn_munkres,
+)
+
+
+def brute_force(cost):
+    """Optimal assignment by enumeration (small matrices only)."""
+    n, m = len(cost), len(cost[0])
+    transposed = n > m
+    if transposed:
+        cost = [list(col) for col in zip(*cost)]
+        n, m = m, n
+    best = None
+    for perm in itertools.permutations(range(m), n):
+        total = sum(cost[i][perm[i]] for i in range(n))
+        if math.isinf(total):
+            continue
+        if best is None or total < best:
+            best = total
+    return best
+
+
+class TestBasics:
+    def test_identity_matrix(self):
+        pairs, total = kuhn_munkres([[0, 1], [1, 0]])
+        assert total == 0
+        assert pairs == [(0, 0), (1, 1)]
+
+    def test_single_cell(self):
+        pairs, total = kuhn_munkres([[7.0]])
+        assert pairs == [(0, 0)]
+        assert total == 7.0
+
+    def test_rectangular_wide(self):
+        pairs, total = kuhn_munkres([[5, 1, 9]])
+        assert pairs == [(0, 1)]
+        assert total == 1
+
+    def test_rectangular_tall(self):
+        pairs, total = kuhn_munkres([[5], [1], [9]])
+        assert pairs == [(1, 0)]
+        assert total == 1
+
+    def test_classic_example(self):
+        cost = [[4, 1, 3], [2, 0, 5], [3, 2, 2]]
+        _, total = kuhn_munkres(cost)
+        assert total == 5  # 1 + 2 + 2
+
+    def test_forbidden_pairs_avoided(self):
+        inf = math.inf
+        cost = [[inf, 1], [1, inf]]
+        pairs, total = kuhn_munkres(cost)
+        assert total == 2
+        assert set(pairs) == {(0, 1), (1, 0)}
+
+    def test_infeasible_raises(self):
+        inf = math.inf
+        with pytest.raises(InfeasibleAssignmentError):
+            kuhn_munkres([[inf, inf], [1, 1]])
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            kuhn_munkres([])
+        with pytest.raises(ValueError):
+            kuhn_munkres([[]])
+
+    def test_ragged_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            kuhn_munkres([[1, 2], [3]])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            kuhn_munkres([[float("nan")]])
+
+    def test_assignment_cost_helper(self):
+        cost = [[4, 1], [2, 0]]
+        assert assignment_cost(cost, [(0, 1), (1, 0)]) == 3
+
+
+class TestOptimality:
+    @given(
+        st.lists(
+            st.lists(st.floats(0, 100, allow_nan=False), min_size=1, max_size=5),
+            min_size=1,
+            max_size=5,
+        ).filter(lambda rows: len({len(r) for r in rows}) == 1)
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_matches_brute_force(self, cost):
+        expected = brute_force(cost)
+        pairs, total = kuhn_munkres(cost)
+        assert expected is not None
+        assert total == pytest.approx(expected, abs=1e-9)
+        # pairs form a valid matching of the smaller side
+        rows = [i for i, _ in pairs]
+        cols = [j for _, j in pairs]
+        assert len(set(rows)) == len(rows)
+        assert len(set(cols)) == len(cols)
+        assert len(pairs) == min(len(cost), len(cost[0]))
+
+    @given(
+        st.lists(
+            st.lists(
+                st.one_of(
+                    st.floats(0, 50, allow_nan=False), st.just(math.inf)
+                ),
+                min_size=2,
+                max_size=4,
+            ),
+            min_size=2,
+            max_size=4,
+        ).filter(lambda rows: len({len(r) for r in rows}) == 1)
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_matches_brute_force_with_forbidden(self, cost):
+        expected = brute_force(cost)
+        if expected is None:
+            with pytest.raises(InfeasibleAssignmentError):
+                kuhn_munkres(cost)
+        else:
+            _, total = kuhn_munkres(cost)
+            assert total == pytest.approx(expected, abs=1e-9)

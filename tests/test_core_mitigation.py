@@ -1,0 +1,125 @@
+"""Tests for Algorithm 2: contention mitigation via Kuhn-Munkres."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mitigation import MitigationResult, Move, mitigate_sequence
+from repro.core.window import conflicting_high_pairs, is_mitigated
+
+
+class TestBasics:
+    def test_already_mitigated_is_noop(self):
+        labels = [True, False, False, True]
+        result = mitigate_sequence(labels, 3)
+        assert result.order == (0, 1, 2, 3)
+        assert result.mitigated
+        assert result.total_cost == 0
+        assert result.moves == ()
+
+    def test_adjacent_pair_separated(self):
+        result = mitigate_sequence([True, True, False, False], 2)
+        new = [[True, True, False, False][i] for i in result.order]
+        assert result.mitigated
+        assert is_mitigated(new, 2)
+        assert len(result.moves) >= 1
+
+    def test_three_highs_fully_interleaved(self):
+        labels = [True] * 3 + [False] * 6
+        result = mitigate_sequence(labels, 3)
+        new = [labels[i] for i in result.order]
+        assert result.mitigated
+        assert is_mitigated(new, 3)
+
+    def test_insufficient_lows_partial(self):
+        labels = [True, True, True]
+        result = mitigate_sequence(labels, 3)
+        assert not result.mitigated
+        assert sorted(result.order) == [0, 1, 2]
+
+    def test_single_request(self):
+        result = mitigate_sequence([True], 4)
+        assert result.order == (0,)
+        assert result.mitigated
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ValueError):
+            mitigate_sequence([], 3)
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            mitigate_sequence([True], 0)
+
+    def test_all_low_untouched(self):
+        labels = [False] * 5
+        result = mitigate_sequence(labels, 4)
+        assert result.order == tuple(range(5))
+        assert result.mitigated
+
+    def test_move_cost_is_displacement(self):
+        move = Move(item=3, source_position=1, target_position=5)
+        assert move.cost == 4
+
+    def test_apply_reorders_parallel_sequence(self):
+        result = MitigationResult(
+            order=(2, 0, 1), moves=(), mitigated=True, total_cost=0
+        )
+        assert result.apply(["a", "b", "c"]) == ["c", "a", "b"]
+
+    def test_apply_length_mismatch(self):
+        result = MitigationResult(
+            order=(0, 1), moves=(), mitigated=True, total_cost=0
+        )
+        with pytest.raises(ValueError):
+            result.apply(["a"])
+
+
+class TestProperties:
+    @given(
+        st.lists(st.booleans(), min_size=1, max_size=16),
+        st.integers(2, 4),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_order_is_permutation(self, labels, k):
+        result = mitigate_sequence(labels, k)
+        assert sorted(result.order) == list(range(len(labels)))
+
+    @given(
+        st.lists(st.booleans(), min_size=1, max_size=16),
+        st.integers(2, 4),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_never_increases_conflicts(self, labels, k):
+        result = mitigate_sequence(labels, k)
+        new = [labels[i] for i in result.order]
+        assert len(conflicting_high_pairs(new, k)) <= len(
+            conflicting_high_pairs(labels, k)
+        )
+
+    @given(
+        st.lists(st.booleans(), min_size=1, max_size=16),
+        st.integers(2, 4),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_mitigated_flag_consistent(self, labels, k):
+        result = mitigate_sequence(labels, k)
+        new = [labels[i] for i in result.order]
+        assert result.mitigated == is_mitigated(new, k)
+
+    @given(st.integers(2, 4), st.integers(1, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_enough_lows_always_mitigates(self, k, num_high):
+        # With (K-1) lows between each pair of highs available, full
+        # mitigation must succeed.
+        labels = [True] * num_high + [False] * (num_high * (k - 1) + k)
+        result = mitigate_sequence(labels, k)
+        assert result.mitigated
+
+    @given(
+        st.lists(st.booleans(), min_size=2, max_size=12),
+        st.integers(2, 4),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_total_cost_matches_moves(self, labels, k):
+        result = mitigate_sequence(labels, k)
+        assert result.total_cost == sum(m.cost for m in result.moves)

@@ -1,0 +1,115 @@
+"""Cross-module integration tests: the paper's headline claims in miniature."""
+
+import pytest
+
+from repro.baselines.band import execute_band
+from repro.baselines.mnn_serial import plan_mnn_serial
+from repro.baselines.pipe_it import plan_pipe_it
+from repro.core.planner import Hetero2PipePlanner, PlannerConfig
+from repro.experiments.common import geomean
+from repro.hardware.soc import get_soc
+from repro.profiling.profiler import SocProfiler
+from repro.runtime.executor import execute_plan
+from repro.workloads.generator import sample_combinations
+
+
+@pytest.fixture(scope="module")
+def kirin():
+    return get_soc("kirin990")
+
+
+@pytest.fixture(scope="module")
+def profiler(kirin):
+    return SocProfiler(kirin)
+
+
+@pytest.fixture(scope="module")
+def sweep(kirin, profiler):
+    """A small Fig. 7-style sweep shared by the assertions below."""
+    planner = Hetero2PipePlanner(kirin)
+    no_ct = Hetero2PipePlanner(kirin, PlannerConfig.no_contention_or_tail())
+    rows = []
+    for spec in sample_combinations(count=8, seed=123):
+        models = spec.models()
+        rows.append(
+            {
+                "mnn": execute_plan(
+                    plan_mnn_serial(kirin, models, profiler)
+                ).makespan_ms,
+                "pipe_it": execute_plan(
+                    plan_pipe_it(kirin, models, profiler)
+                ).makespan_ms,
+                "band": execute_band(kirin, models, profiler).makespan_ms,
+                "no_ct": execute_plan(no_ct.plan(models).plan).makespan_ms,
+                "h2p": execute_plan(planner.plan(models).plan).makespan_ms,
+            }
+        )
+    return rows
+
+
+class TestHeadlineClaims:
+    def test_h2p_beats_mnn_by_paper_scale(self, sweep):
+        # Paper: 4.2x average, up to 8.8x on Kirin 990.
+        speedups = [r["mnn"] / r["h2p"] for r in sweep]
+        assert geomean(speedups) > 2.0
+        assert max(speedups) > 4.0
+
+    def test_h2p_beats_pipe_it(self, sweep):
+        # Paper: 2x average, up to 3.7x.
+        speedups = [r["pipe_it"] / r["h2p"] for r in sweep]
+        assert geomean(speedups) > 2.0
+
+    def test_h2p_competitive_with_band(self, sweep):
+        # Paper: ~5 % average gain; Band wins occasionally.
+        speedups = [r["band"] / r["h2p"] for r in sweep]
+        assert geomean(speedups) > 0.95
+
+    def test_h2p_never_loses_to_its_ablation(self, sweep):
+        for row in sweep:
+            assert row["h2p"] <= row["no_ct"] * 1.001
+
+    def test_every_scheme_finishes_all_requests(self, kirin, profiler):
+        models = sample_combinations(count=1, seed=9)[0].models()
+        planner = Hetero2PipePlanner(kirin)
+        result = execute_plan(planner.plan(models).plan)
+        assert result.num_requests == len(models)
+        assert all(f > 0 for f in result.request_finish_ms)
+
+
+class TestCrossPlatformShape:
+    def test_kirin_gains_exceed_snapdragon(self):
+        # The NPU is the main lever: Kirin speedups dominate.
+        gains = {}
+        for soc_name in ("kirin990", "snapdragon870"):
+            soc = get_soc(soc_name)
+            profiler = SocProfiler(soc)
+            planner = Hetero2PipePlanner(soc)
+            ratios = []
+            for spec in sample_combinations(count=4, seed=77):
+                models = spec.models()
+                mnn = execute_plan(
+                    plan_mnn_serial(soc, models, profiler)
+                ).makespan_ms
+                h2p = execute_plan(planner.plan(models).plan).makespan_ms
+                ratios.append(mnn / h2p)
+            gains[soc_name] = geomean(ratios)
+        assert gains["kirin990"] > gains["snapdragon870"]
+
+    def test_throughput_and_latency_consistent(self, kirin, profiler):
+        planner = Hetero2PipePlanner(kirin)
+        models = sample_combinations(count=1, seed=5)[0].models()
+        result = execute_plan(planner.plan(models).plan)
+        assert result.throughput_per_s == pytest.approx(
+            len(models) / (result.makespan_ms / 1e3)
+        )
+
+
+class TestDeterminism:
+    def test_full_pipeline_is_reproducible(self, kirin):
+        models = sample_combinations(count=1, seed=31)[0].models()
+        a = execute_plan(Hetero2PipePlanner(kirin).plan(models).plan)
+        b = execute_plan(Hetero2PipePlanner(kirin).plan(models).plan)
+        assert a.makespan_ms == b.makespan_ms
+        assert [r.start_ms for r in a.records] == [
+            r.start_ms for r in b.records
+        ]

@@ -1,0 +1,129 @@
+"""Tests of the ten-model zoo: architecture-level sanity checks."""
+
+import pytest
+
+from repro.models.ir import OpType
+from repro.models.zoo import (
+    LARGE_MODELS,
+    LIGHTWEIGHT_MODELS,
+    MEDIUM_MODELS,
+    MODEL_BUILDERS,
+    MODEL_NAMES,
+    all_models,
+    get_model,
+)
+
+#: (name, min GFLOPs, max GFLOPs, min params MB fp16, max params MB fp16)
+EXPECTED_SCALE = {
+    "alexnet": (1.0, 4.0, 100, 150),
+    "vgg16": (25, 40, 250, 300),
+    "googlenet": (2, 5, 10, 30),
+    "inceptionv4": (18, 35, 80, 130),
+    "resnet50": (6, 11, 40, 60),
+    "yolov4": (30, 70, 50, 80),
+    "mobilenetv2": (0.4, 1.0, 5, 10),
+    "squeezenet": (0.8, 2.5, 1.5, 4),
+    "bert": (15, 30, 180, 260),
+    "vit": (25, 45, 140, 200),
+}
+
+
+class TestRegistry:
+    def test_ten_models(self):
+        assert len(MODEL_NAMES) == 10
+        # Extended models may have been registered by other tests; the
+        # evaluation set must always be resolvable.
+        assert set(MODEL_NAMES) <= set(MODEL_BUILDERS)
+
+    def test_get_model_case_insensitive(self):
+        assert get_model("BERT").name == "bert"
+
+    def test_get_model_unknown(self):
+        with pytest.raises(KeyError):
+            get_model("resnet152")
+
+    def test_get_model_is_cached(self):
+        assert get_model("vgg16") is get_model("vgg16")
+
+    def test_all_models_order(self):
+        assert tuple(m.name for m in all_models()) == MODEL_NAMES
+
+    def test_tier_groups_partition_models(self):
+        tiers = set(LIGHTWEIGHT_MODELS) | set(MEDIUM_MODELS) | set(LARGE_MODELS)
+        assert len(tiers) == 9  # one model (vgg16) is outside the Fig. 9 tiers
+        assert tiers <= set(MODEL_NAMES)
+
+
+class TestScale:
+    @pytest.mark.parametrize("name", sorted(EXPECTED_SCALE))
+    def test_flops_in_published_range(self, name):
+        lo, hi, _, _ = EXPECTED_SCALE[name]
+        gflops = get_model(name).total_flops / 1e9
+        assert lo <= gflops <= hi, f"{name}: {gflops:.2f} GFLOPs"
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_SCALE))
+    def test_weights_in_published_range(self, name):
+        _, _, lo, hi = EXPECTED_SCALE[name]
+        mb = get_model(name).total_weight_bytes / 1e6
+        assert lo <= mb <= hi, f"{name}: {mb:.1f} MB"
+
+    def test_vit_roughly_70x_squeezenet(self):
+        # Table II/Obs. 3: ViT is ~70x SqueezeNet by size.
+        ratio = (
+            get_model("vit").total_weight_bytes
+            / get_model("squeezenet").total_weight_bytes
+        )
+        assert 40 <= ratio <= 100
+
+
+class TestNpuSupport:
+    def test_exactly_yolo_and_bert_unsupported(self):
+        unsupported = {m.name for m in all_models() if not m.npu_supported()}
+        assert unsupported == {"yolov4", "bert"}
+
+    def test_bert_has_no_npu_runnable_encoder(self):
+        bert = get_model("bert")
+        ops = {layer.op for layer in bert.layers}
+        assert OpType.MASKED_ATTENTION in ops
+        assert OpType.EMBEDDING in ops
+        # every encoder block individually unsupported
+        for layer in bert.layers:
+            if layer.op == OpType.MASKED_ATTENTION:
+                assert not layer.npu_supported()
+
+    def test_vit_fully_supported(self):
+        assert get_model("vit").npu_supported()
+
+    def test_yolo_unsupported_via_mish_and_upsample(self):
+        yolo = get_model("yolov4")
+        ops = {yolo.layers[i].op for i in yolo.unsupported_layers()}
+        assert OpType.MISH in ops
+        assert OpType.UPSAMPLE in ops
+
+
+class TestStructure:
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_layer_costs_positive(self, name):
+        model = get_model(name)
+        for layer in model.layers:
+            assert layer.flops >= 0
+            assert layer.memory_bytes > 0
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_interior_boundaries_positive(self, name):
+        model = get_model(name)
+        for i in range(model.num_layers - 1):
+            assert model.boundary_bytes(i) > 0
+
+    def test_transformers_are_block_granular(self):
+        # One fused layer per encoder block keeps slicing coarse.
+        assert get_model("bert").num_layers == 14
+        assert get_model("vit").num_layers == 14
+
+    def test_squeezenet_memory_bound_vs_vgg(self):
+        # Observation 3: SqueezeNet's fire modules have low arithmetic
+        # intensity relative to dense conv stacks.
+        assert (
+            get_model("squeezenet").arithmetic_intensity
+            < get_model("vgg16").arithmetic_intensity
+        )

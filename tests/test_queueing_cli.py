@@ -1,0 +1,173 @@
+"""Tests for the queueing analysis and the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.hardware.soc import get_soc
+from repro.models.zoo import get_model
+from repro.runtime.queueing import heterogeneous_queueing, serial_queueing
+from repro.workloads.generator import arrival_times_ms
+
+
+@pytest.fixture(scope="module")
+def kirin():
+    return get_soc("kirin990")
+
+
+class TestQueueing:
+    def test_serial_delays_accumulate(self, kirin):
+        models = [get_model("resnet50")] * 6
+        arrivals = arrival_times_ms(6, 30.0)
+        report = serial_queueing(kirin, models, arrivals)
+        delays = report.queueing_delay_ms
+        # ResNet50 takes ~70 ms on CPU big but arrives every 30 ms.
+        assert delays[-1] > delays[0]
+        assert delays[-1] > 100.0
+
+    def test_heterogeneous_reduces_backlog(self, kirin):
+        models = [get_model("resnet50")] * 6
+        arrivals = arrival_times_ms(6, 30.0)
+        serial = serial_queueing(kirin, models, arrivals)
+        hetero = heterogeneous_queueing(kirin, models, arrivals)
+        assert (
+            hetero.mean_queueing_delay_ms < serial.mean_queueing_delay_ms
+        )
+
+    def test_completion_latency_positive(self, kirin):
+        models = [get_model("googlenet")] * 3
+        arrivals = arrival_times_ms(3, 50.0)
+        report = serial_queueing(kirin, models, arrivals)
+        assert all(l > 0 for l in report.completion_latency_ms)
+
+    def test_delays_nonnegative(self, kirin):
+        models = [get_model("googlenet")] * 4
+        arrivals = arrival_times_ms(4, 200.0)
+        report = serial_queueing(kirin, models, arrivals)
+        assert all(d >= -1e-6 for d in report.queueing_delay_ms)
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out
+        assert "kirin990" in out
+
+    def test_run_known_experiment(self, capsys):
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Hetero2Pipe" in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+
+    def test_plan_command(self, capsys):
+        code = main(
+            ["plan", "--soc", "kirin990", "--models", "vit,resnet50"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "throughput" in out
+
+    def test_plan_no_ct_flag(self, capsys):
+        assert (
+            main(
+                [
+                    "plan",
+                    "--soc",
+                    "snapdragon870",
+                    "--models",
+                    "squeezenet,googlenet",
+                    "--no-ct",
+                ]
+            )
+            == 0
+        )
+
+    def test_plan_empty_models(self, capsys):
+        assert main(["plan", "--models", " "]) == 2
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCliExtensions:
+    def test_plan_with_gantt_and_energy(self, capsys):
+        code = main(
+            ["plan", "--models", "vit,resnet50", "--gantt", "--energy"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "legend" in out
+        assert "mJ" in out
+
+    def test_plan_with_trace(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        code = main(["plan", "--models", "vit", "--trace", str(trace)])
+        assert code == 0
+        import json
+
+        assert json.loads(trace.read_text())["traceEvents"]
+
+    def test_stream_command(self, capsys):
+        code = main(
+            [
+                "stream",
+                "--models",
+                "squeezenet,squeezenet,resnet50",
+                "--window",
+                "2",
+                "--interval",
+                "25",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "windows" in out
+        assert "mean request latency" in out
+
+    def test_stream_coalesce(self, capsys):
+        code = main(
+            [
+                "stream",
+                "--models",
+                "mobilenetv2,mobilenetv2,mobilenetv2",
+                "--coalesce",
+            ]
+        )
+        assert code == 0
+
+    def test_stream_empty_models(self, capsys):
+        assert main(["stream", "--models", " "]) == 2
+
+    def test_export_model(self, capsys, tmp_path):
+        path = tmp_path / "model.json"
+        assert main(["export-model", "bert", str(path)]) == 0
+        from repro.models.serialization import load_model
+
+        assert load_model(str(path)).name == "bert"
+
+    def test_export_unknown_model(self, capsys, tmp_path):
+        path = tmp_path / "model.json"
+        assert main(["export-model", "nope", str(path)]) == 2
+
+    def test_calibrate_command(self, capsys, tmp_path):
+        import json
+
+        targets = tmp_path / "targets.json"
+        targets.write_text(
+            json.dumps(
+                [
+                    {
+                        "model": "resnet50",
+                        "processor": "cpu_big",
+                        "latency_ms": 55.0,
+                    }
+                ]
+            )
+        )
+        assert main(["calibrate", "--targets", str(targets)]) == 0
+        out = capsys.readouterr().out
+        assert "throughput scale" in out

@@ -7,6 +7,8 @@ from typing import Sequence
 
 import numpy as np
 
+from ..util import approx_eq
+
 
 @dataclass(frozen=True)
 class LinearFit:
@@ -33,13 +35,15 @@ def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> LinearFit:
     if x.shape[0] < 2:
         raise ValueError("need at least two points for a line")
     x_var = float(np.var(x))
-    if x_var == 0.0:
+    if approx_eq(x_var, 0.0):
         raise ValueError("x values are constant; slope undefined")
     slope = float(np.cov(x, y, bias=True)[0, 1] / x_var)
     intercept = float(y.mean() - slope * x.mean())
     residuals = y - (slope * x + intercept)
     total = float(np.sum((y - y.mean()) ** 2))
-    r_squared = 1.0 if total == 0.0 else 1.0 - float(np.sum(residuals**2)) / total
+    r_squared = (
+        1.0 if approx_eq(total, 0.0) else 1.0 - float(np.sum(residuals**2)) / total
+    )
     return LinearFit(slope=slope, intercept=intercept, r_squared=r_squared)
 
 

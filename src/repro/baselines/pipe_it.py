@@ -35,7 +35,7 @@ def local_search_split(
     big, small = soc.cpu_big, soc.cpu_small
     n = profile.model.num_layers
 
-    def makespan(cut: int) -> float:
+    def makespan_ms(cut: int) -> float:
         if cut >= n:
             return profile.exec_ms(big, 0, n - 1)
         big_time = profile.slice_cost_ms(big, 0, cut - 1, small)
@@ -43,9 +43,9 @@ def local_search_split(
         return max(big_time, small_time)
 
     cut = n  # start from all-on-Big, walk the split left while improving
-    best = makespan(cut)
+    best = makespan_ms(cut)
     while cut > 1:
-        candidate = makespan(cut - 1)
+        candidate = makespan_ms(cut - 1)
         if candidate >= best:
             break
         best = candidate

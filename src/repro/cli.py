@@ -13,6 +13,9 @@ Subcommands:
 * ``export-model <name> <path>`` — write a zoo model as JSON.
 * ``calibrate --soc X --targets file.json`` — fit per-processor
   throughput scales to measured latencies.
+* ``lint [paths] [--json] [--plans]`` — run the static-analysis
+  subsystem (AST rules, import layering, plan invariants); see
+  ``docs/STATIC_ANALYSIS.md``.
 """
 
 from __future__ import annotations
@@ -170,6 +173,12 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint.cli import run_lint_command
+
+    return run_lint_command(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="hetero2pipe",
@@ -236,6 +245,14 @@ def build_parser() -> argparse.ArgumentParser:
         required=True,
         help="JSON file: [{model, processor, latency_ms}, ...]",
     )
+
+    lint_parser = sub.add_parser(
+        "lint",
+        help="static analysis: AST rules, import layering, plan invariants",
+    )
+    from .lint.cli import add_lint_arguments
+
+    add_lint_arguments(lint_parser)
     return parser
 
 
@@ -248,6 +265,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "stream": _cmd_stream,
         "export-model": _cmd_export_model,
         "calibrate": _cmd_calibrate,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

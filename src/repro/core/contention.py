@@ -55,7 +55,7 @@ class ContentionEstimator:
         model: RidgeModel,
         threshold_percentile: float = DEFAULT_THRESHOLD_PERCENTILE,
         training_intensities: Sequence[float] = (),
-    ):
+    ) -> None:
         if not 0.0 < threshold_percentile < 100.0:
             raise ValueError("threshold percentile must be in (0, 100)")
         self._model = model

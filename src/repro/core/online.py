@@ -94,7 +94,7 @@ class StreamingPlanner:
         config: Optional[PlannerConfig] = None,
         coalesce_batches: bool = False,
         max_batch: int = 8,
-    ):
+    ) -> None:
         if window_size < 1:
             raise ValueError("window size must be >= 1")
         if max_batch < 1:

@@ -18,7 +18,7 @@ inside the DP instead of after it).
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..hardware.processor import ProcessorSpec
 from ..hardware.soc import SocSpec
@@ -71,7 +71,7 @@ def coupled_slice_cost(
     profile: ModelProfile,
     processors: Sequence[ProcessorSpec],
     pressures: Dict[str, float],
-):
+) -> Callable[[int, int, int], float]:
     """DP cost callback with contention inflation baked in."""
 
     def cost(stage: int, start: int, end: int) -> float:

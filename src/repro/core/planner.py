@@ -86,7 +86,7 @@ class Hetero2PipePlanner:
         soc: SocSpec,
         config: Optional[PlannerConfig] = None,
         estimator: Optional[ContentionEstimator] = None,
-    ):
+    ) -> None:
         self.soc = soc
         self.config = config or PlannerConfig()
         self.profiler = SocProfiler(soc)

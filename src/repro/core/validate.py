@@ -132,12 +132,15 @@ def _check_slices(plan: PipelinePlan) -> List[Violation]:
 
 
 def _check_operator_support(plan: PipelinePlan) -> List[Violation]:
+    soc_names = {p.name for p in plan.soc.processors}
     out = []
     for i, assignment in enumerate(plan.assignments):
         for k, slc in enumerate(assignment.slices):
             if slc is None:
                 continue
             proc = plan.processors[k]
+            if proc.name not in soc_names:
+                continue  # reported by _check_processors
             start, end = slc
             if end >= assignment.profile.model.num_layers:
                 continue  # reported by _check_slices

@@ -2,7 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, Sequence
+
+from ..util import geomean
+
+__all__ = ["format_table", "geomean"]
 
 
 def format_table(
@@ -29,14 +33,3 @@ def format_table(
     out = [line(list(headers)), line(["-" * w for w in widths])]
     out.extend(line(row) for row in text_rows)
     return "\n".join(out)
-
-
-def geomean(values: Sequence[float]) -> float:
-    """Geometric mean of positive values (speedup aggregation)."""
-    import math
-
-    if not values:
-        raise ValueError("geomean of empty sequence")
-    if any(v <= 0 for v in values):
-        raise ValueError("geomean requires positive values")
-    return math.exp(sum(math.log(v) for v in values) / len(values))

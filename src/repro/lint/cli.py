@@ -1,0 +1,116 @@
+"""Lint driver shared by ``hetero2pipe lint`` and ``python -m repro.lint``.
+
+Exit codes: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .engine import all_rules, get_rule, lint_paths
+from .reporters import exit_code, render_json, render_text
+
+
+def default_src_root() -> Path:
+    """The ``src/`` directory this installation was imported from."""
+    # .../src/repro/lint/cli.py -> .../src
+    return Path(__file__).resolve().parents[2]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint flags (shared with the hetero2pipe subcommand)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit JSON instead of text"
+    )
+    parser.add_argument(
+        "--rules",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "--plans",
+        action="store_true",
+        help="also sweep plan invariants over zoo x SoC x config "
+        "(slower; runs the planner)",
+    )
+    parser.add_argument(
+        "--src-root",
+        metavar="DIR",
+        help="source root for module-name resolution (default: the "
+        "installed src/ directory)",
+    )
+
+
+def run_lint_command(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation."""
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.name}")
+            print(f"        {rule.rationale}")
+        return 0
+
+    rules = None
+    if args.rules:
+        try:
+            rules = [get_rule(c.strip()) for c in args.rules.split(",") if c.strip()]
+        except KeyError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+
+    src_root = Path(args.src_root) if args.src_root else default_src_root()
+    if args.paths:
+        paths = [Path(p) for p in args.paths]
+        missing = [p for p in paths if not p.exists()]
+        if missing:
+            print(f"no such path(s): {missing}", file=sys.stderr)
+            return 2
+    else:
+        paths = [src_root / "repro"]
+
+    findings = lint_paths(paths, src_root=src_root, rules=rules)
+
+    checked = 0
+    if args.plans:
+        from .plan_invariants import sweep_plan_invariants
+
+        plan_findings, checked = sweep_plan_invariants()
+        findings = findings + plan_findings
+
+    if args.json:
+        print(render_json(findings))
+    else:
+        print(render_text(findings))
+        if args.plans:
+            print(f"plan invariants: {checked} plan(s) validated")
+    return exit_code(findings)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Hetero2Pipe static analysis: AST rules, import "
+        "layering, plan invariants.",
+    )
+    add_lint_arguments(parser)
+    return run_lint_command(parser.parse_args(argv))
+
+
+__all__: List[str] = [
+    "add_lint_arguments",
+    "run_lint_command",
+    "default_src_root",
+    "main",
+]

@@ -1,0 +1,242 @@
+"""AST rule engine: rule registry, file walking, suppression, findings.
+
+A rule is a subclass of :class:`LintRule` registered via
+:func:`register_rule`.  The engine parses each ``.py`` file once, hands
+the tree to every enabled rule, and filters the produced findings
+through per-line ``# lint: disable=CODE`` pragmas, so a deliberate
+exception is visible at the offending line forever.
+
+Suppression syntax (checked against the finding's line)::
+
+    t0 = time.time()  # lint: disable=H2P101
+    x = a + b         # lint: disable=H2P102,H2P105
+    y = c * d         # lint: disable=all
+
+Design notes:
+
+* rules are pure functions of ``(tree, context)`` — no global state, so
+  the engine can lint fixture trees in tests without touching disk;
+* the *relative module path* is computed against a configurable source
+  root, which lets tests lint synthetic package layouts under a tmp
+  directory (the layering rule needs real-looking module names).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Type
+
+#: ``# lint: disable=H2P101`` or ``# lint: disable=H2P101,H2P102`` or
+#: ``# lint: disable=all`` — anywhere in the line's trailing comment.
+_PRAGMA = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    code: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "code": self.code,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+        }
+
+
+@dataclass(frozen=True)
+class LintContext:
+    """Everything a rule may consult besides the tree itself.
+
+    Attributes:
+        path: File path as reported in findings.
+        module: Dotted module name relative to the source root
+            (``repro.runtime.metrics``); empty when the file lies
+            outside the root.
+        source_lines: Raw source, for pragma checks and diagnostics.
+    """
+
+    path: str
+    module: str
+    source_lines: Sequence[str] = field(default_factory=tuple)
+
+    @property
+    def package_parts(self) -> Sequence[str]:
+        """Module path split on dots (``("repro", "runtime", "metrics")``)."""
+        return tuple(self.module.split(".")) if self.module else ()
+
+
+class LintRule:
+    """Base class for AST rules.
+
+    Subclasses set :attr:`code`, :attr:`name` and :attr:`rationale`
+    (shown by ``--list-rules`` and the docs) and implement
+    :meth:`check`.
+    """
+
+    code: str = ""
+    name: str = ""
+    rationale: str = ""
+
+    def check(self, tree: ast.Module, ctx: LintContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: LintContext, node: ast.AST, message: str) -> Finding:
+        """Build a finding anchored at ``node``."""
+        return Finding(
+            code=self.code,
+            message=message,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+        )
+
+
+#: code -> rule instance, in registration order.
+RULE_REGISTRY: Dict[str, LintRule] = {}
+
+
+def register_rule(cls: Type[LintRule]) -> Type[LintRule]:
+    """Class decorator: instantiate and register a rule by its code."""
+    rule = cls()
+    if not rule.code:
+        raise ValueError(f"rule {cls.__name__} has no code")
+    if rule.code in RULE_REGISTRY:
+        raise ValueError(f"duplicate rule code {rule.code!r}")
+    RULE_REGISTRY[rule.code] = rule
+    return cls
+
+
+def all_rules() -> List[LintRule]:
+    return list(RULE_REGISTRY.values())
+
+
+def get_rule(code: str) -> LintRule:
+    try:
+        return RULE_REGISTRY[code]
+    except KeyError:
+        raise KeyError(
+            f"unknown rule {code!r}; known: {sorted(RULE_REGISTRY)}"
+        ) from None
+
+
+def _suppressed_codes(line: str) -> Optional[Sequence[str]]:
+    match = _PRAGMA.search(line)
+    if match is None:
+        return None
+    return tuple(c.strip() for c in match.group(1).split(",") if c.strip())
+
+
+def apply_suppressions(
+    findings: Iterable[Finding], source_lines: Sequence[str]
+) -> List[Finding]:
+    """Drop findings whose line carries a matching disable pragma."""
+    kept: List[Finding] = []
+    for f in findings:
+        if 1 <= f.line <= len(source_lines):
+            codes = _suppressed_codes(source_lines[f.line - 1])
+            if codes is not None and ("all" in codes or f.code in codes):
+                continue
+        kept.append(f)
+    return kept
+
+
+def module_name_for(path: Path, src_root: Path) -> str:
+    """Dotted module name of ``path`` under ``src_root`` ('' if outside).
+
+    ``src_root/repro/runtime/metrics.py`` -> ``repro.runtime.metrics``;
+    package ``__init__.py`` files map to the package itself.
+    """
+    try:
+        rel = path.resolve().relative_to(src_root.resolve())
+    except ValueError:
+        return ""
+    parts = list(rel.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+def lint_source(
+    source: str,
+    path: str,
+    module: str,
+    rules: Optional[Sequence[LintRule]] = None,
+) -> List[Finding]:
+    """Lint one in-memory source string (the test-friendly core)."""
+    active = list(rules) if rules is not None else all_rules()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [
+            Finding(
+                code="H2P000",
+                message=f"syntax error: {error.msg}",
+                path=path,
+                line=error.lineno or 1,
+                col=error.offset or 0,
+            )
+        ]
+    lines = source.splitlines()
+    ctx = LintContext(path=path, module=module, source_lines=lines)
+    findings: List[Finding] = []
+    for rule in active:
+        findings.extend(rule.check(tree, ctx))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return apply_suppressions(findings, lines)
+
+
+def lint_file(
+    path: Path,
+    src_root: Path,
+    rules: Optional[Sequence[LintRule]] = None,
+) -> List[Finding]:
+    """Lint one file on disk."""
+    source = path.read_text(encoding="utf-8")
+    return lint_source(
+        source,
+        path=str(path),
+        module=module_name_for(path, src_root),
+        rules=rules,
+    )
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted, deduplicated .py list."""
+    seen = set()
+    collected: List[Path] = []
+    for p in paths:
+        if p.is_dir():
+            collected.extend(sorted(p.rglob("*.py")))
+        elif p.suffix == ".py":
+            collected.append(p)
+    for p in collected:
+        key = p.resolve()
+        if key not in seen:
+            seen.add(key)
+            yield p
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    src_root: Path,
+    rules: Optional[Sequence[LintRule]] = None,
+) -> List[Finding]:
+    """Lint every ``.py`` file under ``paths``; findings sorted by location."""
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, src_root, rules))
+    return findings

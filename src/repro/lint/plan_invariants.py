@@ -1,0 +1,117 @@
+"""Plan-invariant linter: batch-sweep ``core.validate`` over the zoo.
+
+``core/validate.py`` checks one plan at a time, at runtime.  This
+module lifts it to lint time: for every zoo model x SoC x planner
+configuration it plans the request (plus one all-models pipeline per
+combination, which exercises the co-residency diagonals of
+Constraint 6) and converts each
+:class:`~repro.core.validate.Violation` into a lint
+:class:`~repro.lint.engine.Finding`, so a planner regression that
+starts emitting gap/overlap slices or memory-infeasible diagonals
+fails CI exactly like a banned import would.
+
+Finding paths use the virtual scheme ``plan://soc/config/workload`` —
+there is no source line to point at, only a combination to reproduce.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..core.planner import Hetero2PipePlanner, PlannerConfig
+from ..core.validate import Violation, validate_plan
+from .engine import Finding
+
+#: validate.py violation code -> lint rule code (H2P3xx block).
+PLAN_CODE_MAP: Dict[str, str] = {
+    "unknown-processor": "H2P301",
+    "bad-order": "H2P302",
+    "gap-or-overlap": "H2P303",
+    "bad-slice": "H2P304",
+    "incomplete-cover": "H2P305",
+    "unsupported-operator": "H2P306",
+    "memory-capacity": "H2P307",
+}
+
+#: The planner configurations the sweep exercises.
+PLANNER_CONFIGS: Dict[str, PlannerConfig] = {
+    "default": PlannerConfig(),
+    "no_ct": PlannerConfig.no_contention_or_tail(),
+    "fast_dp": PlannerConfig(fast_dp=True),
+}
+
+
+def findings_from_violations(
+    violations: Iterable[Violation], origin: str
+) -> List[Finding]:
+    """Convert validator violations into lint findings at ``origin``."""
+    out: List[Finding] = []
+    for v in violations:
+        out.append(
+            Finding(
+                code=PLAN_CODE_MAP.get(v.code, "H2P300"),
+                message=f"{v.code}: {v.message}",
+                path=origin,
+                line=1,
+            )
+        )
+    return out
+
+
+def sweep_plan_invariants(
+    soc_names: Sequence[str] = (),
+    model_names: Sequence[str] = (),
+    config_names: Sequence[str] = (),
+) -> Tuple[List[Finding], int]:
+    """Plan and validate every model x SoC x config combination.
+
+    Args:
+        soc_names: SoCs to sweep (default: all registered).
+        model_names: Zoo models to sweep (default: all ten).
+        config_names: Keys of :data:`PLANNER_CONFIGS` (default: all).
+
+    Returns:
+        ``(findings, num_plans_checked)``.
+    """
+    from ..hardware.soc import SOC_NAMES, get_soc
+    from ..models.zoo import MODEL_NAMES, get_model
+
+    socs = list(soc_names) or list(SOC_NAMES)
+    models = list(model_names) or list(MODEL_NAMES)
+    configs = list(config_names) or list(PLANNER_CONFIGS)
+
+    findings: List[Finding] = []
+    checked = 0
+    for soc_name in socs:
+        soc = get_soc(soc_name)
+        estimator = None
+        for config_name in configs:
+            config = PLANNER_CONFIGS[config_name]
+            planner = Hetero2PipePlanner(soc, config, estimator=estimator)
+            estimator = planner.estimator  # fit once per SoC, reuse
+            workloads = [(name, [get_model(name)]) for name in models]
+            if len(models) > 1:
+                # One combined pipeline exercises the Constraint 6
+                # co-residency diagonals across model mixes.
+                workloads.append(
+                    ("all-models", [get_model(name) for name in models])
+                )
+            for workload_name, workload in workloads:
+                origin = f"plan://{soc_name}/{config_name}/{workload_name}"
+                try:
+                    plan = planner.plan(workload).plan
+                except Exception as error:  # planner crash is a finding too
+                    findings.append(
+                        Finding(
+                            code="H2P300",
+                            message=f"planner raised {type(error).__name__}: {error}",
+                            path=origin,
+                            line=1,
+                        )
+                    )
+                    continue
+                checked += 1
+                findings.extend(
+                    findings_from_violations(validate_plan(plan), origin)
+                )
+    return findings, checked

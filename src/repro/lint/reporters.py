@@ -1,0 +1,46 @@
+"""Finding reporters: human text and machine JSON.
+
+Text mimics the compiler convention (``path:line:col: CODE message``)
+so editors and CI annotations pick locations up for free; JSON carries
+the same fields plus a summary block for dashboards.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict, List, Sequence
+
+from .engine import Finding
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """One finding per line plus a per-code summary footer."""
+    if not findings:
+        return "lint: clean (0 findings)"
+    lines = [str(f) for f in findings]
+    counts = Counter(f.code for f in findings)
+    summary = ", ".join(f"{code}: {n}" for code, n in sorted(counts.items()))
+    lines.append(f"lint: {len(findings)} finding(s) ({summary})")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Stable JSON document: findings list + per-code counts."""
+    counts: Dict[str, int] = dict(
+        sorted(Counter(f.code for f in findings).items())
+    )
+    document = {
+        "findings": [f.to_dict() for f in findings],
+        "counts": counts,
+        "total": len(findings),
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def exit_code(findings: Sequence[Finding]) -> int:
+    """0 clean, 1 findings — the contract CI relies on."""
+    return 1 if findings else 0
+
+
+__all__: List[str] = ["render_text", "render_json", "exit_code"]

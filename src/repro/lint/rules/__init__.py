@@ -1,0 +1,30 @@
+"""Rule catalogue: importing this package registers every rule.
+
+One module per rule family; each module's docstring carries the paper
+rationale that ``docs/STATIC_ANALYSIS.md`` summarizes.
+"""
+
+from __future__ import annotations
+
+from . import floateq  # noqa: F401
+from . import frozen  # noqa: F401
+from . import infeasible  # noqa: F401
+from . import layering  # noqa: F401
+from . import units  # noqa: F401
+from . import wallclock  # noqa: F401
+
+from .floateq import FloatEqualityRule
+from .frozen import FrozenMutationRule
+from .infeasible import InfeasibleArithmeticRule
+from .layering import ImportLayeringRule
+from .units import UnitSuffixRule
+from .wallclock import WallClockRule
+
+__all__ = [
+    "FloatEqualityRule",
+    "FrozenMutationRule",
+    "InfeasibleArithmeticRule",
+    "ImportLayeringRule",
+    "UnitSuffixRule",
+    "WallClockRule",
+]

@@ -1,0 +1,71 @@
+"""H2P102 — no ``==`` / ``!=`` against float literals in scheduling math.
+
+Slice costs, makespans, bubbles and contention intensities are all
+floats produced by chains of roofline arithmetic; exact equality against
+a float literal is either dead (never true after accumulation) or a
+latent tie-break bug that flips plans between machines.  Use
+:func:`repro.util.approx_eq` (``math.isclose`` with project defaults)
+instead.  Comparisons against the :data:`repro.profiling.INFEASIBLE`
+sentinel are exempt — ``inf == inf`` is exact and is the documented
+feasibility idiom (H2P105 polices the sentinel's *arithmetic* misuse).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Finding, LintContext, LintRule, register_rule
+
+_SENTINEL_NAMES = {"INFEASIBLE"}
+
+
+def _is_float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    # ``-1.0`` parses as UnaryOp(USub, Constant(1.0)).
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.UAdd, ast.USub)
+    ):
+        return _is_float_literal(node.operand)
+    return False
+
+
+def _mentions_sentinel(*nodes: ast.expr) -> bool:
+    for node in nodes:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and sub.id in _SENTINEL_NAMES:
+                return True
+            if isinstance(sub, ast.Attribute) and sub.attr in _SENTINEL_NAMES:
+                return True
+    return False
+
+
+@register_rule
+class FloatEqualityRule(LintRule):
+    code = "H2P102"
+    name = "no-float-literal-equality"
+    rationale = (
+        "scheduling math accumulates roofline floats; exact equality "
+        "against a literal is machine-dependent — use repro.util.approx_eq"
+    )
+
+    def check(self, tree: ast.Module, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if not (_is_float_literal(left) or _is_float_literal(right)):
+                    continue
+                if _mentions_sentinel(left, right):
+                    continue
+                symbol = "==" if isinstance(op, ast.Eq) else "!="
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"float literal compared with '{symbol}'; use "
+                    "repro.util.approx_eq (or an explicit tolerance)",
+                )

@@ -1,0 +1,104 @@
+"""H2P103 — don't mutate frozen-dataclass instances.
+
+The codebase's convention (DESIGN.md): planner *outputs* and hardware
+*specs* are ``@dataclass(frozen=True)`` so a plan audited by
+``core.validate`` cannot drift before execution; only the two explicit
+work-stealing containers (``StageAssignment`` / ``PipelinePlan``) are
+mutable.  Assigning to ``self.attr`` inside a frozen class raises at
+runtime anyway, but ``object.__setattr__`` silently bypasses the
+freeze — this rule flags both so the escape hatch stays confined to
+``__post_init__`` (the stdlib-sanctioned initialization idiom).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..engine import Finding, LintContext, LintRule, register_rule
+
+
+def _is_frozen_dataclass(cls: ast.ClassDef) -> bool:
+    for deco in cls.decorator_list:
+        if isinstance(deco, ast.Call):
+            fn = deco.func
+            name = fn.id if isinstance(fn, ast.Name) else (
+                fn.attr if isinstance(fn, ast.Attribute) else None
+            )
+            if name == "dataclass":
+                for kw in deco.keywords:
+                    if (
+                        kw.arg == "frozen"
+                        and isinstance(kw.value, ast.Constant)
+                        and kw.value.value is True
+                    ):
+                        return True
+    return False
+
+
+def _self_attribute(target: ast.expr) -> Optional[str]:
+    if (
+        isinstance(target, ast.Attribute)
+        and isinstance(target.value, ast.Name)
+        and target.value.id == "self"
+    ):
+        return target.attr
+    return None
+
+
+def _is_object_setattr(node: ast.Call) -> bool:
+    fn = node.func
+    return (
+        isinstance(fn, ast.Attribute)
+        and fn.attr == "__setattr__"
+        and isinstance(fn.value, ast.Name)
+        and fn.value.id == "object"
+    )
+
+
+@register_rule
+class FrozenMutationRule(LintRule):
+    code = "H2P103"
+    name = "no-frozen-dataclass-mutation"
+    rationale = (
+        "frozen plans/specs are the auditability contract between "
+        "planner, validator and executor; object.__setattr__ outside "
+        "__post_init__ silently breaks it"
+    )
+
+    def check(self, tree: ast.Module, ctx: LintContext) -> Iterator[Finding]:
+        for cls in ast.walk(tree):
+            if not isinstance(cls, ast.ClassDef) or not _is_frozen_dataclass(cls):
+                continue
+            for item in cls.body:
+                if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                in_post_init = item.name == "__post_init__"
+                for node in ast.walk(item):
+                    targets = []
+                    if isinstance(node, ast.Assign):
+                        targets = node.targets
+                    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                        targets = [node.target]
+                    for target in targets:
+                        attr = _self_attribute(target)
+                        if attr is not None:
+                            yield self.finding(
+                                ctx,
+                                node,
+                                f"assignment to 'self.{attr}' inside frozen "
+                                f"dataclass {cls.name!r} (raises "
+                                "FrozenInstanceError at runtime)",
+                            )
+                    if (
+                        isinstance(node, ast.Call)
+                        and _is_object_setattr(node)
+                        and not in_post_init
+                    ):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"object.__setattr__ in {cls.name}.{item.name} "
+                            "bypasses the freeze; only __post_init__ may "
+                            "use it",
+                        )

@@ -1,0 +1,79 @@
+"""H2P105 — the ``INFEASIBLE`` sentinel must stay out of arithmetic.
+
+:data:`repro.profiling.INFEASIBLE` is ``float('inf')``: the profiler
+returns it for slices containing NPU-unsupported operators (the
+fallback rule), and the DP treats it as "prune this candidate".  It is
+safe under ``min``/``max``/ordering, and ``==`` detection is exact —
+but the moment it enters ``+``/``-``/``*``/``/`` the infinity
+propagates (or worse, ``inf - inf`` births a NaN that compares false
+with everything and silently corrupts a DP table).  This rule flags
+binary/augmented/unary arithmetic whose operand is the sentinel name.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Finding, LintContext, LintRule, register_rule
+
+_SENTINEL = "INFEASIBLE"
+
+_ARITH_OPS = (
+    ast.Add,
+    ast.Sub,
+    ast.Mult,
+    ast.Div,
+    ast.FloorDiv,
+    ast.Mod,
+    ast.Pow,
+)
+
+
+def _is_sentinel(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name) and node.id == _SENTINEL:
+        return True
+    if isinstance(node, ast.Attribute) and node.attr == _SENTINEL:
+        return True
+    return False
+
+
+@register_rule
+class InfeasibleArithmeticRule(LintRule):
+    code = "H2P105"
+    name = "no-infeasible-sentinel-arithmetic"
+    rationale = (
+        "INFEASIBLE is float('inf'); arithmetic propagates it (inf-inf "
+        "is NaN) and corrupts DP tables — compare/prune, never compute"
+    )
+
+    def check(self, tree: ast.Module, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, _ARITH_OPS):
+                if _is_sentinel(node.left) or _is_sentinel(node.right):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "INFEASIBLE used as an arithmetic operand; the "
+                        "sentinel may only be compared or min/max-pruned",
+                    )
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.op, _ARITH_OPS
+            ):
+                if _is_sentinel(node.value) or _is_sentinel(node.target):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "augmented assignment with INFEASIBLE; the sentinel "
+                        "may only be compared or min/max-pruned",
+                    )
+            elif isinstance(node, ast.UnaryOp) and isinstance(
+                node.op, ast.USub
+            ):
+                if _is_sentinel(node.operand):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "negating INFEASIBLE produces -inf and breaks "
+                        "min-max pruning",
+                    )

@@ -1,0 +1,148 @@
+"""H2P201 — the import graph must respect the DESIGN.md layering.
+
+The architecture is a DAG, lowest layer first::
+
+    util -> models -> analysis -> hardware -> profiling -> workloads
+         -> core -> runtime -> baselines -> experiments -> lint -> cli
+
+A module may import *downward* (or within its own package), never
+upward: an upward edge means a substrate package depends on policy
+built on top of it — the exact coupling bug this repo shipped with
+(``runtime/metrics.py`` importing ``experiments.common`` for
+``geomean``) and the one Band-style schedulers repeatedly hit between
+coordinator and runtime layers.
+
+Three documented module-level refinements (see docs/STATIC_ANALYSIS.md):
+
+* ``runtime.schedule`` and ``runtime.executor`` rank *below* ``core``:
+  they are the pure simulation substrate (Eq. 3 bubbles, Eq. 8 event
+  clock) that Algorithms 1-3 use as their cost oracle, while the rest
+  of ``runtime`` consumes finished plans;
+* ``runtime.queueing`` ranks *above* ``baselines``: it is the serving
+  harness that drives the planner and the MNN-serial baseline to
+  reproduce Fig. 2(a).
+
+Scope: only **module-level** ``import``/``from`` statements are edges —
+imports inside functions or ``if TYPE_CHECKING:`` blocks are the
+sanctioned escape hatches for optional features and typing cycles, and
+create no import-time coupling.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Sequence
+
+from ..engine import Finding, LintContext, LintRule, register_rule
+
+#: Root package the layering applies to.
+ROOT_PACKAGE = "repro"
+
+#: Package (or top-level module) -> layer rank; higher may import lower.
+LAYERS: Dict[str, int] = {
+    "util": 0,
+    "models": 10,
+    "analysis": 15,
+    "hardware": 20,
+    "profiling": 30,
+    "workloads": 35,
+    "core": 40,
+    "runtime": 50,
+    "baselines": 60,
+    "experiments": 70,
+    "lint": 80,
+    "cli": 90,
+}
+
+#: Module-specific rank refinements (full dotted names).
+MODULE_OVERRIDES: Dict[str, int] = {
+    f"{ROOT_PACKAGE}.runtime.schedule": 36,
+    f"{ROOT_PACKAGE}.runtime.executor": 36,
+    f"{ROOT_PACKAGE}.runtime.queueing": 65,
+}
+
+
+def rank_of(module: str) -> Optional[int]:
+    """Layer rank of a dotted module path (None when outside the map)."""
+    parts = module.split(".")
+    if not parts or parts[0] != ROOT_PACKAGE:
+        return None
+    for depth in range(len(parts), 1, -1):
+        override = MODULE_OVERRIDES.get(".".join(parts[:depth]))
+        if override is not None:
+            return override
+    if len(parts) == 1:
+        return None  # the bare root package
+    return LAYERS.get(parts[1])
+
+
+def _resolve_relative(module_parts: Sequence[str], level: int, target: str) -> str:
+    """Resolve ``from ..x import y`` against the importing module."""
+    if level <= 0:
+        return target
+    # level=1 strips the module name (sibling), each extra level one package.
+    base = list(module_parts[: len(module_parts) - level])
+    if target:
+        base.extend(target.split("."))
+    return ".".join(base)
+
+
+@register_rule
+class ImportLayeringRule(LintRule):
+    code = "H2P201"
+    name = "import-layering"
+    rationale = (
+        "DESIGN.md's package DAG keeps the simulator substrate "
+        "independent of the policies built on it; upward imports are "
+        "coordinator/runtime coupling bugs"
+    )
+
+    def check(self, tree: ast.Module, ctx: LintContext) -> Iterator[Finding]:
+        src_module = ctx.module
+        if not src_module.startswith(f"{ROOT_PACKAGE}.") and src_module != ROOT_PACKAGE:
+            return
+        src_rank = rank_of(src_module)
+        src_parts = ctx.package_parts
+        # Package __init__ re-export hubs take the package's own rank.
+        if src_rank is None:
+            return
+        for node in tree.body:  # module level only — see docstring
+            targets = []
+            if isinstance(node, ast.Import):
+                targets = [(node, alias.name) for alias in node.names]
+            elif isinstance(node, ast.ImportFrom):
+                base = _resolve_relative(
+                    src_parts, node.level, node.module or ""
+                )
+                # ``from pkg import submodule`` edges point at the
+                # submodule when one exists in the layer map.
+                targets = []
+                for alias in node.names:
+                    specific = f"{base}.{alias.name}" if base else alias.name
+                    chosen = (
+                        specific
+                        if rank_of(specific) is not None
+                        and rank_of(specific) != rank_of(base)
+                        else base
+                    )
+                    targets.append((node, chosen))
+            for stmt, target in targets:
+                tgt_rank = rank_of(target)
+                if tgt_rank is None:
+                    continue
+                if _same_package(src_module, target):
+                    continue
+                if tgt_rank > src_rank:
+                    yield self.finding(
+                        ctx,
+                        stmt,
+                        f"upward import: {src_module} (layer {src_rank}) "
+                        f"imports {target} (layer {tgt_rank}); the DESIGN.md "
+                        "DAG only allows downward edges",
+                    )
+
+
+def _same_package(src_module: str, target: str) -> bool:
+    """True when both modules live in the same second-level package."""
+    s, t = src_module.split("."), target.split(".")
+    return len(s) >= 2 and len(t) >= 2 and s[1] == t[1]

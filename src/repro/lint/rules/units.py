@@ -1,0 +1,90 @@
+"""H2P104 — latency/energy-returning functions carry a unit suffix.
+
+Every quantity in the codebase is unit-suffixed (``makespan_ms``,
+``total_mj``, ``throughput_per_s``, ``access_latency_ns``): the paper
+mixes milliseconds (latency), millijoules (energy) and bytes (memory),
+and the one historical bug class DESIGN.md warns about is silent unit
+mixing across the profiling -> core -> runtime boundary.  The rule
+flags any function or method annotated ``-> float`` whose name contains
+a quantity word but no recognized unit suffix.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Finding, LintContext, LintRule, register_rule
+
+#: Name fragments that mark a function as returning a physical quantity.
+QUANTITY_WORDS = (
+    "latency",
+    "makespan",
+    "energy",
+    "bubble",
+    "duration",
+    "elapsed",
+    "delay",
+    "dispatch",
+)
+
+#: Accepted unit suffixes (time, energy, power, data, rates, ratios).
+UNIT_SUFFIXES = (
+    "_ms",
+    "_us",
+    "_ns",
+    "_s",
+    "_mj",
+    "_j",
+    "_mw",
+    "_w",
+    "_hz",
+    "_mhz",
+    "_ghz",
+    "_bytes",
+    "_mb",
+    "_gb",
+    "_per_s",
+    "_pct",
+    "_frac",
+    "_ratio",
+    "_x",
+)
+
+
+def _returns_float(fn: ast.AST) -> bool:
+    returns = getattr(fn, "returns", None)
+    return isinstance(returns, ast.Name) and returns.id == "float"
+
+
+def _has_unit_suffix(name: str) -> bool:
+    return any(name.endswith(suffix) for suffix in UNIT_SUFFIXES)
+
+
+@register_rule
+class UnitSuffixRule(LintRule):
+    code = "H2P104"
+    name = "unit-suffix-on-quantity-returns"
+    rationale = (
+        "ms/mJ/bytes cross the profiling->core->runtime boundary "
+        "constantly; the suffix convention is the only unit system "
+        "Python gives us"
+    )
+
+    def check(self, tree: ast.Module, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            name = node.name.lower()
+            if not _returns_float(node):
+                continue
+            if not any(word in name for word in QUANTITY_WORDS):
+                continue
+            if _has_unit_suffix(name):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"function {node.name!r} returns a float quantity but its "
+                "name has no unit suffix (_ms, _mj, _bytes, _per_s, ...)",
+            )

@@ -1,0 +1,104 @@
+"""H2P101 — no wall-clock reads inside the simulator paths.
+
+The whole reproduction rests on *deterministic simulated time*: the
+executor advances an event clock (Eq. 8 precedences), and DESIGN.md
+promises bit-for-bit reproducible experiments.  A single
+``time.time()`` / ``datetime.now()`` in ``repro.runtime`` or
+``repro.core`` silently couples plan costs to the host machine, which
+is exactly the class of timing bug Band-style schedulers die on.  The
+rule bans wall-clock reads in those packages; profiling/benchmark code
+outside them may measure real time freely.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Tuple
+
+from ..engine import Finding, LintContext, LintRule, register_rule
+
+#: Packages whose second path component makes a file a simulator path.
+SIMULATOR_PACKAGES = ("runtime", "core")
+
+#: (module, attribute) pairs that read the host clock.
+_WALL_CLOCK_ATTRS = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("time", "process_time"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+}
+
+#: Names importable via ``from time import ...`` that read the clock.
+_WALL_CLOCK_FROM_TIME = {
+    "time",
+    "time_ns",
+    "monotonic",
+    "monotonic_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "process_time",
+}
+
+
+def _in_simulator_path(ctx: LintContext) -> bool:
+    parts = ctx.package_parts
+    return len(parts) >= 2 and parts[1] in SIMULATOR_PACKAGES
+
+
+@register_rule
+class WallClockRule(LintRule):
+    code = "H2P101"
+    name = "no-wall-clock-in-simulator"
+    rationale = (
+        "runtime/ and core/ implement a deterministic discrete-event "
+        "simulation; reading the host clock breaks reproducibility"
+    )
+
+    def check(self, tree: ast.Module, ctx: LintContext) -> Iterator[Finding]:
+        if not _in_simulator_path(ctx):
+            return
+        # Track ``from time import perf_counter [as pc]`` style aliases.
+        clock_aliases: Dict[str, Tuple[str, str]] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in _WALL_CLOCK_FROM_TIME:
+                        bound = alias.asname or alias.name
+                        clock_aliases[bound] = ("time", alias.name)
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"imports wall-clock 'time.{alias.name}' into a "
+                            "simulator path; use simulated event time",
+                        )
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Attribute):
+                base = node.value
+                if (
+                    isinstance(base, ast.Name)
+                    and (base.id, node.attr) in _WALL_CLOCK_ATTRS
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"wall-clock read '{base.id}.{node.attr}' in a "
+                        "simulator path; the executor's event clock is the "
+                        "only time source here",
+                    )
+            elif isinstance(node, ast.Call):
+                fn = node.func
+                if isinstance(fn, ast.Name) and fn.id in clock_aliases:
+                    mod, attr = clock_aliases[fn.id]
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"wall-clock call '{fn.id}()' ({mod}.{attr}) in a "
+                        "simulator path",
+                    )

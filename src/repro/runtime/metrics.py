@@ -14,9 +14,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..experiments.common import geomean
 from ..hardware.soc import SocSpec
 from ..models.ir import ModelGraph
+from ..util import geomean
 from .executor import ExecutionResult
 
 #: A scheme maps a request list to an executed result.

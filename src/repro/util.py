@@ -1,0 +1,45 @@
+"""Dependency-free leaf helpers shared across every layer.
+
+This module sits at the bottom of the DESIGN.md import DAG (layer 0):
+anything may import it, it imports only the stdlib.  It exists because
+two helpers kept being re-invented upward in the tree — ``geomean``
+lived in ``experiments.common`` and was imported *down* by
+``runtime.metrics`` (the layering violation H2P201 now bans), and float
+tolerance comparisons were open-coded as ``== 0.0`` (H2P102).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+#: Default tolerances for :func:`approx_eq`.  Relative 1e-9 matches
+#: ``math.isclose``; the absolute floor makes comparisons against 0.0
+#: meaningful for quantities that are sums of roofline ms/mJ terms.
+REL_TOL = 1e-9
+ABS_TOL = 1e-12
+
+
+def approx_eq(
+    a: float, b: float, rel_tol: float = REL_TOL, abs_tol: float = ABS_TOL
+) -> bool:
+    """Tolerant float equality for scheduling math.
+
+    Use this instead of ``==``/``!=`` on floats (lint rule H2P102):
+    slice costs and makespans are accumulated roofline terms, so exact
+    equality is machine- and order-dependent.
+    """
+    return math.isclose(a, b, rel_tol=rel_tol, abs_tol=abs_tol)
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (speedup aggregation).
+
+    Raises:
+        ValueError: on empty input or non-positive entries.
+    """
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,84 @@
+"""CI guard: the observability layer must not slow the planner down.
+
+Times ``Hetero2PipePlanner.plan`` on the Fig. 7-style five-model mix
+(yolov4, bert, squeezenet, resnet50, vit on Kirin 990) twice:
+
+* **disabled** — the default ``NullRecorder``: every ``obs`` call site
+  must reduce to roughly one attribute lookup;
+* **enabled** — a fresh ``InMemoryRecorder`` per round, so spans,
+  metrics and the provenance log are all live.
+
+Best-of-N wall times are compared; the guard fails when the enabled
+run exceeds the disabled run by more than ``MAX_OVERHEAD`` (plus a
+small absolute slack so sub-millisecond timer noise cannot flake CI).
+
+Run directly (exit code 0/1, used by the ``obs-overhead`` CI job)::
+
+    PYTHONPATH=src python benchmarks/overhead_guard.py
+"""
+
+import sys
+import time
+
+from repro import obs
+from repro.core.planner import Hetero2PipePlanner
+from repro.hardware.soc import get_soc
+from repro.models.zoo import get_model
+
+MODEL_MIX = ("yolov4", "bert", "squeezenet", "resnet50", "vit")
+SOC = "kirin990"
+WARMUP_ROUNDS = 2
+TIMED_ROUNDS = 7
+MAX_OVERHEAD = 0.05  # +5 % over the disabled path
+ABS_SLACK_S = 0.010  # timer-noise floor per plan
+
+
+def _best_of(rounds, fn):
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure():
+    soc = get_soc(SOC)
+    models = [get_model(name) for name in MODEL_MIX]
+    planner = Hetero2PipePlanner(soc)
+
+    def plan_disabled():
+        planner.plan(models)
+
+    def plan_enabled():
+        with obs.use_recorder(obs.InMemoryRecorder()):
+            planner.plan(models)
+
+    for _ in range(WARMUP_ROUNDS):
+        plan_disabled()
+        plan_enabled()
+
+    disabled_s = _best_of(TIMED_ROUNDS, plan_disabled)
+    enabled_s = _best_of(TIMED_ROUNDS, plan_enabled)
+    return disabled_s, enabled_s
+
+
+def main():
+    disabled_s, enabled_s = measure()
+    limit_s = disabled_s * (1.0 + MAX_OVERHEAD) + ABS_SLACK_S
+    overhead = enabled_s / disabled_s - 1.0
+    print(f"planner.plan best-of-{TIMED_ROUNDS}:")
+    print(f"  recorder disabled : {disabled_s * 1e3:8.2f} ms")
+    print(f"  recorder enabled  : {enabled_s * 1e3:8.2f} ms "
+          f"({overhead:+.1%})")
+    print(f"  budget            : {limit_s * 1e3:8.2f} ms "
+          f"(+{MAX_OVERHEAD:.0%} and {ABS_SLACK_S * 1e3:.0f} ms slack)")
+    if enabled_s > limit_s:
+        print("FAIL: instrumented planning exceeds the overhead budget")
+        return 1
+    print("OK: observability overhead within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

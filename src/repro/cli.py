@@ -13,6 +13,12 @@ Subcommands:
 * ``export-model <name> <path>`` — write a zoo model as JSON.
 * ``calibrate --soc X --targets file.json`` — fit per-processor
   throughput scales to measured latencies.
+* ``trace --soc X --models a,b --out run.json`` — plan and execute with
+  the observability recorder on and write one merged Perfetto/Chrome
+  trace: planner spans, executor slices, counter tracks and
+  steal/relocate flow arrows (see ``docs/OBSERVABILITY.md``).
+* ``stats --soc X --models a,b`` — plan with the recorder on and print
+  the metrics registry plus the decision-provenance explanation.
 * ``lint [paths] [--json] [--plans]`` — run the static-analysis
   subsystem (AST rules, import layering, plan invariants); see
   ``docs/STATIC_ANALYSIS.md``.
@@ -25,6 +31,7 @@ import json
 import sys
 from typing import List, Optional
 
+from . import obs
 from .core.online import StreamingPlanner
 from .core.planner import Hetero2PipePlanner, PlannerConfig
 from .experiments import ALL_EXPERIMENTS
@@ -173,6 +180,65 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_models(spec: str) -> List:
+    return [get_model(n.strip()) for n in spec.split(",") if n.strip()]
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .runtime.tracing import write_chrome_trace
+
+    soc = get_soc(args.soc)
+    models = _parse_models(args.models)
+    if not models:
+        print("no models given", file=sys.stderr)
+        return 2
+    config = (
+        PlannerConfig.no_contention_or_tail() if args.no_ct else PlannerConfig()
+    )
+    with obs.use_recorder(obs.InMemoryRecorder()) as rec:
+        planner = Hetero2PipePlanner(soc, config)
+        report = planner.plan(models)
+        result = execute_plan(report.plan, trace=True)
+        ordered_names = [models[i].name for i in report.plan.order]
+        write_chrome_trace(result, args.out, ordered_names, recorder=rec)
+    spans = len(rec.all_spans())
+    flows = sum(
+        1 for e in rec.events if e.kind in ("layer_stolen", "request_relocated")
+    )
+    print(f"planned {len(models)} requests on {soc.name}")
+    print(f"makespan: {result.makespan_ms:.1f} ms")
+    print(
+        f"merged trace: {spans} planner spans, {len(result.records)} "
+        f"executed slices, {len(rec.events)} provenance events "
+        f"({flows} steal/relocate)"
+    )
+    print(f"chrome trace written to {args.out} (open in ui.perfetto.dev)")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    soc = get_soc(args.soc)
+    models = _parse_models(args.models)
+    if not models:
+        print("no models given", file=sys.stderr)
+        return 2
+    with obs.use_recorder(obs.InMemoryRecorder()) as rec:
+        planner = Hetero2PipePlanner(soc)
+        report = planner.plan(models)
+        execute_plan(report.plan)
+    if args.json:
+        print(rec.metrics.render_json())
+        return 0
+    print(rec.metrics.render_text())
+    print()
+    print(
+        obs.render_explanation(
+            rec.events, processor_names=[p.name for p in soc.processors]
+        )
+    )
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .lint.cli import run_lint_command
 
@@ -246,6 +312,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON file: [{model, processor, latency_ms}, ...]",
     )
 
+    trace_parser = sub.add_parser(
+        "trace",
+        help="plan + execute with the recorder on; write a merged "
+        "Perfetto trace",
+    )
+    trace_parser.add_argument("--soc", default="kirin990", choices=SOC_NAMES)
+    trace_parser.add_argument("--models", required=True)
+    trace_parser.add_argument(
+        "--out", required=True, metavar="PATH", help="trace JSON output path"
+    )
+    trace_parser.add_argument(
+        "--no-ct",
+        action="store_true",
+        help="disable contention mitigation and tail optimization",
+    )
+
+    stats_parser = sub.add_parser(
+        "stats",
+        help="plan with the recorder on; print metrics + decision provenance",
+    )
+    stats_parser.add_argument("--soc", default="kirin990", choices=SOC_NAMES)
+    stats_parser.add_argument("--models", required=True)
+    stats_parser.add_argument(
+        "--json", action="store_true", help="emit the metrics registry as JSON"
+    )
+
     lint_parser = sub.add_parser(
         "lint",
         help="static analysis: AST rules, import layering, plan invariants",
@@ -265,6 +357,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "stream": _cmd_stream,
         "export-model": _cmd_export_model,
         "calibrate": _cmd_calibrate,
+        "trace": _cmd_trace,
+        "stats": _cmd_stats,
         "lint": _cmd_lint,
     }
     return handlers[args.command](args)

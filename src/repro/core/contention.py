@@ -20,6 +20,7 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..analysis.regression import RidgeModel, fit_ridge
 from ..hardware.processor import ProcessorSpec
 from ..hardware.soc import SocSpec
@@ -153,7 +154,16 @@ class ContentionEstimator:
         self, profiles: Sequence[ModelProfile]
     ) -> List[ContentionScore]:
         """Score a request sequence, preserving order."""
-        return [self.score(p) for p in profiles]
+        with obs.span("plan.classify", requests=len(profiles)) as span:
+            scores = [self.score(p) for p in profiles]
+            if obs.enabled():
+                high = sum(1 for s in scores if s.is_high)
+                obs.add("requests_scored", len(scores))
+                obs.add("requests_high", high)
+                for s in scores:
+                    obs.observe("contention_intensity", s.intensity)
+                span.set(high=high, low=len(scores) - high)
+        return scores
 
     def labels(self, profiles: Sequence[ModelProfile]) -> List[bool]:
         """The H/L boolean sequence Algorithm 2 consumes (True = High)."""

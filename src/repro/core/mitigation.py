@@ -20,8 +20,9 @@ import math
 from dataclasses import dataclass, field
 from typing import List, Sequence, Tuple
 
+from .. import obs
 from .assignment import kuhn_munkres
-from .window import conflicting_high_pairs, deficit, is_mitigated
+from .window import conflicting_high_pairs, deficit, is_mitigated, violating_windows
 
 
 @dataclass(frozen=True)
@@ -106,6 +107,10 @@ def mitigate_sequence(
         raise ValueError("pipeline depth K must be >= 1")
 
     n = len(labels)
+    span = obs.span("plan.mitigate", requests=n, depth=k)
+    if obs.enabled():
+        obs.add("windows_with_2H", len(violating_windows(labels, k)))
+
     order: List[int] = list(range(n))
     moves: List[Move] = []
     rounds = max_rounds if max_rounds is not None else n
@@ -150,9 +155,11 @@ def mitigate_sequence(
             break  # no sufficient L for selection
 
         assignment, _total = kuhn_munkres(cost)
+        obs.add("lap_rounds")
         assignment = [
             (i, j) for i, j in assignment if cost[i][j] < forbidden
         ]
+        obs.add("lap_assignments", len(assignment))
         if not assignment:
             break
 
@@ -188,9 +195,16 @@ def mitigate_sequence(
             break
 
     final_labels = _labels_of(order, labels)
-    return MitigationResult(
+    result = MitigationResult(
         order=tuple(order),
         moves=tuple(moves),
         mitigated=is_mitigated(final_labels, k),
         total_cost=sum(m.cost for m in moves),
     )
+    span.set(
+        moves=len(result.moves),
+        mitigated=result.mitigated,
+        total_cost=result.total_cost,
+    )
+    span.close()
+    return result

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..hardware.soc import SocSpec
 from ..models.ir import ModelGraph
 from ..runtime.executor import ExecutionResult, execute_plan
@@ -140,6 +141,7 @@ class StreamingPlanner:
             window_arrivals = list(
                 arrivals[start : start + self.window_size]
             )
+            raw_count = len(window_models)
             group_sizes = [1] * len(window_models)
             if self.coalesce_batches:
                 window_models, group_sizes = coalesce_stream(
@@ -150,8 +152,14 @@ class StreamingPlanner:
             # last member has arrived (window-based planning needs the
             # whole window known).
             dispatch = max(ready_ms, max(window_arrivals))
-            report = self.planner.plan(window_models)
-            result = execute_plan(report.plan)
+            with obs.span(
+                "stream.window", first_request=start, requests=raw_count
+            ) as sp:
+                report = self.planner.plan(window_models)
+                result = execute_plan(report.plan)
+                sp.set(makespan_ms=result.makespan_ms)
+            obs.add("windows_planned")
+            obs.add("requests_coalesced", raw_count - len(window_models))
             windows.append(
                 WindowOutcome(
                     first_request=start,

@@ -38,6 +38,7 @@ import math
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..hardware.processor import ProcessorSpec
 from ..profiling.profiler import INFEASIBLE, ModelProfile
 
@@ -239,11 +240,32 @@ def partition_model(
     if not processors:
         raise ValueError("need at least one processor")
     cost = make_slice_cost(profile, processors)
-    solver = min_makespan_partition_fast if fast else min_makespan_partition
-    makespan, slices = solver(profile.model.num_layers, len(processors), cost)
-    stage_times = tuple(
-        0.0 if s is None else cost(k, s[0], s[1]) for k, s in enumerate(slices)
-    )
+    cells = 0
+    if obs.enabled():
+        inner = cost
+
+        def counting_cost(stage: int, start: int, end: int) -> float:
+            nonlocal cells
+            cells += 1
+            return inner(stage, start, end)
+
+        cost = counting_cost
+    with obs.span(
+        "plan.partition",
+        model=profile.model.name,
+        layers=profile.model.num_layers,
+        stages=len(processors),
+        fast=fast,
+    ) as span:
+        solver = min_makespan_partition_fast if fast else min_makespan_partition
+        makespan, slices = solver(profile.model.num_layers, len(processors), cost)
+        stage_times = tuple(
+            0.0 if s is None else cost(k, s[0], s[1])
+            for k, s in enumerate(slices)
+        )
+        if cells:
+            obs.add("dp_cells_evaluated", cells)
+            span.set(dp_cells=cells, makespan_ms=makespan)
     return PartitionResult(
         slices=tuple(slices),
         stage_times_ms=stage_times,

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..hardware.soc import SocSpec
 from ..models.ir import ModelGraph
 from ..models.zoo import all_models
@@ -112,60 +113,116 @@ class Hetero2PipePlanner:
         """
         if not models:
             raise ValueError("request sequence must be non-empty")
+        rec = obs.get_recorder()
         processors = self.soc.processors
-        profiles = [self.profiler.profile(m) for m in models]
+        with obs.span(
+            "plan", requests=len(models), soc=self.soc.name
+        ) as root:
+            profiles = [self.profiler.profile(m) for m in models]
 
-        # Step 1 — horizontal DP per request (P1).
-        partitions = [
-            partition_model(p, processors, fast=self.config.fast_dp)
-            for p in profiles
-        ]
-
-        # Step 2 — contention scoring (Eq. 1).
-        scores = self.estimator.classify(profiles)
-
-        # Step 3 — mitigation re-ordering (P3 / Algorithm 2).  Both the
-        # arrival order and the mitigated order are carried through the
-        # vertical phase; the planner commits to whichever yields the
-        # smaller contention-aware makespan, so re-ordering is only ever
-        # accepted when it actually pays for its displacement.
-        mitigation: Optional[MitigationResult] = None
-        candidate_orders: List[Tuple[int, ...]] = [tuple(range(len(models)))]
-        if self.config.enable_mitigation and len(models) > 1:
-            labels = [s.is_high for s in scores]
-            mitigation = mitigate_sequence(labels, len(processors))
-            if mitigation.order != candidate_orders[0]:
-                candidate_orders.append(mitigation.order)
-
-        best: Optional[Tuple[float, PipelinePlan, int, bool]] = None
-        for order in candidate_orders:
-            plan = PipelinePlan(
-                soc=self.soc,
-                processors=tuple(processors),
-                assignments=[
-                    StageAssignment(
-                        profile=profiles[i], slices=list(partitions[i].slices)
+            # Step 1 — horizontal DP per request (P1).
+            partitions = [
+                partition_model(p, processors, fast=self.config.fast_dp)
+                for p in profiles
+            ]
+            if rec.enabled:
+                for i, part in enumerate(partitions):
+                    obs.emit(
+                        obs.SliceChosen(
+                            request=i,
+                            model=models[i].name,
+                            slices=part.slices,
+                            stage_times_ms=part.stage_times_ms,
+                            makespan_ms=part.makespan_ms,
+                        )
                     )
-                    for i in order
-                ],
-                order=order,
-            )
-            # Step 4 — vertical alignment (P2 / Algorithm 3).
-            moves, tail_changed = 0, False
-            if self.config.enable_work_stealing:
-                moves, tail_changed = vertical_alignment(
-                    plan,
-                    enable_tail_optimization=self.config.enable_tail_optimization,
-                )
-            elif self.config.enable_tail_optimization:
-                tail_changed = optimize_tail(plan)
-            cost = async_makespan_ms(plan)
-            if best is None or cost < best[0]:
-                best = (cost, plan, moves, tail_changed)
 
-        assert best is not None
-        _, plan, moves, tail_changed = best
-        plan.validate()
+            # Step 2 — contention scoring (Eq. 1).
+            scores = self.estimator.classify(profiles)
+
+            # Step 3 — mitigation re-ordering (P3 / Algorithm 2).  Both
+            # the arrival order and the mitigated order are carried
+            # through the vertical phase; the planner commits to
+            # whichever yields the smaller contention-aware makespan, so
+            # re-ordering is only ever accepted when it actually pays
+            # for its displacement.
+            mitigation: Optional[MitigationResult] = None
+            candidate_orders: List[Tuple[int, ...]] = [
+                tuple(range(len(models)))
+            ]
+            if self.config.enable_mitigation and len(models) > 1:
+                labels = [s.is_high for s in scores]
+                mitigation = mitigate_sequence(labels, len(processors))
+                if mitigation.order != candidate_orders[0]:
+                    candidate_orders.append(mitigation.order)
+
+            # Provenance from each candidate's vertical phase is held in
+            # a buffer; only the winner's buffer is committed, so the
+            # event log describes exactly the plan that shipped (metrics
+            # bypass the buffer — they count all work performed).
+            best: Optional[Tuple[float, PipelinePlan, int, bool, int]] = None
+            costs: List[float] = []
+            buffers: List[List[obs.ProvenanceEvent]] = []
+            for index, order in enumerate(candidate_orders):
+                with rec.buffered() as buffer, obs.span(
+                    "plan.candidate", order=list(order)
+                ) as sp:
+                    plan = PipelinePlan(
+                        soc=self.soc,
+                        processors=tuple(processors),
+                        assignments=[
+                            StageAssignment(
+                                profile=profiles[i],
+                                slices=list(partitions[i].slices),
+                            )
+                            for i in order
+                        ],
+                        order=order,
+                    )
+                    # Step 4 — vertical alignment (P2 / Algorithm 3).
+                    moves, tail_changed = 0, False
+                    if self.config.enable_work_stealing:
+                        moves, tail_changed = vertical_alignment(
+                            plan,
+                            enable_tail_optimization=(
+                                self.config.enable_tail_optimization
+                            ),
+                        )
+                    elif self.config.enable_tail_optimization:
+                        tail_changed = optimize_tail(plan)
+                    cost = async_makespan_ms(plan)
+                    sp.set(makespan_ms=cost, moves=moves)
+                costs.append(cost)
+                buffers.append(buffer)
+                if best is None or cost < best[0]:
+                    best = (cost, plan, moves, tail_changed, index)
+
+            assert best is not None
+            cost, plan, moves, tail_changed, winner = best
+            mitigated = winner > 0
+            if rec.enabled:
+                if mitigated and mitigation is not None:
+                    for mv in mitigation.moves:
+                        obs.emit(
+                            obs.RequestRelocated(
+                                request=mv.item,
+                                source_position=mv.source_position,
+                                target_position=mv.target_position,
+                                displacement=mv.cost,
+                            )
+                        )
+                obs.emit(
+                    obs.OrderCommitted(
+                        order=plan.order,
+                        arrival_makespan_ms=costs[0],
+                        chosen_makespan_ms=cost,
+                        mitigated=mitigated,
+                    )
+                )
+                rec.commit(buffers[winner])
+                obs.set_gauge("last_plan_makespan_ms", cost)
+            root.set(makespan_ms=cost, mitigated=mitigated)
+            plan.validate()
         return PlanReport(
             plan=plan,
             partitions=partitions,

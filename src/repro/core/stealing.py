@@ -29,6 +29,7 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..hardware.processor import ProcessorSpec
 from ..runtime.schedule import async_makespan_ms, plan_bubbles_ms, plan_makespan_ms
 from .plan import PipelinePlan, StageAssignment
@@ -118,8 +119,15 @@ def align_to_targets(
     assignment: StageAssignment,
     targets: Sequence[Optional[float]],
     processors: Sequence[ProcessorSpec],
+    request: Optional[int] = None,
 ) -> int:
     """Greedily steal boundary layers until no move improves Eq. 11.
+
+    Args:
+        request: Execution position of this request, used only to tag
+            the :class:`~repro.obs.events.LayerStolen` provenance events;
+            when None no events are emitted (moves are still counted in
+            the ``steal_moves`` metric).
 
     Returns:
         The number of boundary moves applied.
@@ -141,9 +149,25 @@ def align_to_targets(
                     best_move = (frm, to)
         if best_move is None:
             break
-        move_boundary_layer(assignment, best_move[0], best_move[1], processors)
+        frm, to = best_move
+        src = assignment.slices[frm]
+        assert src is not None  # the trial move above succeeded
+        layer = src[1] if to > frm else src[0]
+        move_boundary_layer(assignment, frm, to, processors)
         current -= best_gain
         moves += 1
+        obs.add("steal_moves")
+        if request is not None and obs.enabled():
+            obs.emit(
+                obs.LayerStolen(
+                    request=request,
+                    from_stage=frm,
+                    to_stage=to,
+                    layer=layer,
+                    phase="window-steal",
+                    gain_ms=best_gain,
+                )
+            )
     return moves
 
 
@@ -180,7 +204,9 @@ def steal_within_window(plan: PipelinePlan, window: Sequence[int]) -> int:
             targets.append(
                 critical_times[aligned] if 0 <= aligned < depth else None
             )
-        moves += align_to_targets(plan.assignments[i], targets, plan.processors)
+        moves += align_to_targets(
+            plan.assignments[i], targets, plan.processors, request=i
+        )
     return moves
 
 
@@ -193,10 +219,12 @@ def work_steal(plan: PipelinePlan) -> int:
     depth = plan.depth
     moves = 0
     u = 0
-    while u < plan.num_requests:
-        window = list(range(u, min(u + depth, plan.num_requests)))
-        moves += steal_within_window(plan, window)
-        u += depth
+    with obs.span("plan.steal", requests=plan.num_requests, depth=depth) as sp:
+        while u < plan.num_requests:
+            window = list(range(u, min(u + depth, plan.num_requests)))
+            moves += steal_within_window(plan, window)
+            u += depth
+        sp.set(moves=moves)
     return moves
 
 
@@ -213,30 +241,47 @@ def refine_globally(plan: PipelinePlan, max_moves: int = 128) -> int:
         Number of accepted moves.
     """
     moves = 0
-    current = async_makespan_ms(plan)
-    while moves < max_moves:
-        best_gain = _EPSILON_MS
-        best: Optional[Tuple[int, int, int]] = None
-        for i, assignment in enumerate(plan.assignments):
-            for s in range(plan.depth - 1):
-                for frm, to in ((s, s + 1), (s + 1, s)):
-                    saved = list(assignment.slices)
-                    if not move_boundary_layer(
-                        assignment, frm, to, plan.processors
-                    ):
-                        continue
-                    value = async_makespan_ms(plan)
-                    assignment.slices = saved
-                    gain = current - value
-                    if gain > best_gain:
-                        best_gain = gain
-                        best = (i, frm, to)
-        if best is None:
-            break
-        i, frm, to = best
-        move_boundary_layer(plan.assignments[i], frm, to, plan.processors)
-        current -= best_gain
-        moves += 1
+    with obs.span("plan.refine_global", requests=plan.num_requests) as sp:
+        current = async_makespan_ms(plan)
+        while moves < max_moves:
+            best_gain = _EPSILON_MS
+            best: Optional[Tuple[int, int, int]] = None
+            for i, assignment in enumerate(plan.assignments):
+                for s in range(plan.depth - 1):
+                    for frm, to in ((s, s + 1), (s + 1, s)):
+                        saved = list(assignment.slices)
+                        if not move_boundary_layer(
+                            assignment, frm, to, plan.processors
+                        ):
+                            continue
+                        value = async_makespan_ms(plan)
+                        assignment.slices = saved
+                        gain = current - value
+                        if gain > best_gain:
+                            best_gain = gain
+                            best = (i, frm, to)
+            if best is None:
+                break
+            i, frm, to = best
+            src = plan.assignments[i].slices[frm]
+            assert src is not None  # the trial move above succeeded
+            layer = src[1] if to > frm else src[0]
+            move_boundary_layer(plan.assignments[i], frm, to, plan.processors)
+            current -= best_gain
+            moves += 1
+            obs.add("steal_moves")
+            if obs.enabled():
+                obs.emit(
+                    obs.LayerStolen(
+                        request=i,
+                        from_stage=frm,
+                        to_stage=to,
+                        layer=layer,
+                        phase="global-refine",
+                        gain_ms=best_gain,
+                    )
+                )
+        sp.set(moves=moves, makespan_ms=current)
     return moves
 
 
@@ -255,32 +300,45 @@ def refine_placements(plan: PipelinePlan, max_sweeps: int = 4) -> int:
         Number of placement changes applied.
     """
     changes = 0
-    current = async_makespan_ms(plan)
-    for _ in range(max_sweeps):
-        changed = False
-        for i in range(plan.num_requests - 1, -1, -1):
-            original = plan.assignments[i]
-            best_assignment = original
-            best_cost = current
-            for stage in range(plan.depth):
-                candidate = single_processor_assignment(
-                    original, stage, plan.processors
-                )
-                if candidate is None or candidate.slices == original.slices:
-                    continue
-                plan.assignments[i] = candidate
-                cost = async_makespan_ms(plan)
-                if cost < best_cost - _EPSILON_MS:
-                    best_cost = cost
-                    best_assignment = candidate
-                plan.assignments[i] = original
-            if best_assignment is not original:
-                plan.assignments[i] = best_assignment
-                current = best_cost
-                changes += 1
-                changed = True
-        if not changed:
-            break
+    with obs.span("plan.placements", requests=plan.num_requests) as sp:
+        current = async_makespan_ms(plan)
+        for _ in range(max_sweeps):
+            changed = False
+            for i in range(plan.num_requests - 1, -1, -1):
+                original = plan.assignments[i]
+                best_assignment = original
+                best_cost = current
+                for stage in range(plan.depth):
+                    candidate = single_processor_assignment(
+                        original, stage, plan.processors
+                    )
+                    if candidate is None or candidate.slices == original.slices:
+                        continue
+                    plan.assignments[i] = candidate
+                    cost = async_makespan_ms(plan)
+                    if cost < best_cost - _EPSILON_MS:
+                        best_cost = cost
+                        best_assignment = candidate
+                    plan.assignments[i] = original
+                if best_assignment is not original:
+                    plan.assignments[i] = best_assignment
+                    obs.add("placement_changes")
+                    if obs.enabled():
+                        obs.emit(
+                            obs.PlacementChanged(
+                                request=i,
+                                slices_before=tuple(original.slices),
+                                slices_after=tuple(best_assignment.slices),
+                                makespan_before_ms=current,
+                                makespan_after_ms=best_cost,
+                            )
+                        )
+                    current = best_cost
+                    changes += 1
+                    changed = True
+            if not changed:
+                break
+        sp.set(changes=changes, makespan_ms=current)
     return changes
 
 
@@ -313,7 +371,8 @@ def optimize_tail(plan: PipelinePlan) -> bool:
     last = plan.num_requests - 1
     current = plan.assignments[last]
     best_assignment = current
-    best_cost = async_makespan_ms(plan)
+    before_cost = async_makespan_ms(plan)
+    best_cost = before_cost
     for stage in range(plan.depth):
         candidate = single_processor_assignment(current, stage, plan.processors)
         if candidate is None:
@@ -326,6 +385,17 @@ def optimize_tail(plan: PipelinePlan) -> bool:
         plan.assignments[last] = current
     if best_assignment is not current:
         plan.assignments[last] = best_assignment
+        obs.add("tail_replacements")
+        if obs.enabled():
+            obs.emit(
+                obs.TailReplaced(
+                    request=last,
+                    slices_before=tuple(current.slices),
+                    slices_after=tuple(best_assignment.slices),
+                    makespan_before_ms=before_cost,
+                    makespan_after_ms=best_cost,
+                )
+            )
         return True
     return False
 
@@ -346,11 +416,15 @@ def vertical_alignment(
         ``(total_moves, tail_changed)`` where ``total_moves`` counts
         boundary moves plus placement changes.
     """
-    moves = work_steal(plan)
-    moves += refine_globally(plan)
-    tail_changed = False
-    if enable_tail_optimization:
-        moves += refine_placements(plan)
+    with obs.span(
+        "plan.vertical", tail_optimization=enable_tail_optimization
+    ) as sp:
+        moves = work_steal(plan)
         moves += refine_globally(plan)
-        tail_changed = optimize_tail(plan)
+        tail_changed = False
+        if enable_tail_optimization:
+            moves += refine_placements(plan)
+            moves += refine_globally(plan)
+            tail_changed = optimize_tail(plan)
+        sp.set(moves=moves, tail_changed=tail_changed)
     return moves, tail_changed

@@ -10,6 +10,7 @@ from . import floateq  # noqa: F401
 from . import frozen  # noqa: F401
 from . import infeasible  # noqa: F401
 from . import layering  # noqa: F401
+from . import printer  # noqa: F401
 from . import units  # noqa: F401
 from . import wallclock  # noqa: F401
 
@@ -17,6 +18,7 @@ from .floateq import FloatEqualityRule
 from .frozen import FrozenMutationRule
 from .infeasible import InfeasibleArithmeticRule
 from .layering import ImportLayeringRule
+from .printer import PrintInLibraryRule
 from .units import UnitSuffixRule
 from .wallclock import WallClockRule
 
@@ -25,6 +27,7 @@ __all__ = [
     "FrozenMutationRule",
     "InfeasibleArithmeticRule",
     "ImportLayeringRule",
+    "PrintInLibraryRule",
     "UnitSuffixRule",
     "WallClockRule",
 ]

@@ -2,8 +2,15 @@
 
 The architecture is a DAG, lowest layer first::
 
-    util -> models -> analysis -> hardware -> profiling -> workloads
-         -> core -> runtime -> baselines -> experiments -> lint -> cli
+    util -> obs -> models -> analysis -> hardware -> profiling
+         -> workloads -> core -> runtime -> baselines -> experiments
+         -> lint -> cli
+
+``obs`` (the observability recorder) sits just above ``util`` so that
+every layer — the planner stages in ``core``, the simulation substrate
+in ``runtime`` — can emit spans, metrics and provenance events without
+creating an upward edge; ``obs`` itself imports nothing but the
+standard library.
 
 A module may import *downward* (or within its own package), never
 upward: an upward edge means a substrate package depends on policy
@@ -41,6 +48,7 @@ ROOT_PACKAGE = "repro"
 #: Package (or top-level module) -> layer rank; higher may import lower.
 LAYERS: Dict[str, int] = {
     "util": 0,
+    "obs": 5,
     "models": 10,
     "analysis": 15,
     "hardware": 20,

@@ -1,0 +1,87 @@
+"""H2P107 — no ``print()`` in library code.
+
+With the observability subsystem (``repro.obs``) in place, library code
+has structured channels for everything it might want to say: counters
+and gauges for quantities, spans for timing, provenance events for
+decisions.  A stray ``print()`` inside the planner or runtime bypasses
+all of them — it cannot be redirected, filtered, or exported, and it
+corrupts machine-read output (the JSON modes of the CLI and the lint
+reporters write to stdout).
+
+Presentation layers are exempt: modules whose last component is ``cli``
+(the user-facing commands), ``*.reporters`` modules (their whole job is
+rendering to a stream), and calls under an ``if __name__ == "__main__":``
+guard (the experiments' ``print(main())`` entry points).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from ..engine import Finding, LintContext, LintRule, register_rule
+
+
+def _exempt_module(ctx: LintContext) -> bool:
+    parts = ctx.package_parts
+    if not parts or parts[0] != "repro":
+        return True  # only repro library code is in scope
+    if parts[-1] == "cli":
+        return True
+    if parts[-1] == "reporters":
+        return True
+    return False
+
+
+def _is_main_guard(node: ast.If) -> bool:
+    """Match ``if __name__ == "__main__":`` (either comparison order)."""
+    test = node.test
+    if not isinstance(test, ast.Compare) or len(test.ops) != 1:
+        return False
+    if not isinstance(test.ops[0], ast.Eq):
+        return False
+    operands = [test.left, *test.comparators]
+    names = {o.id for o in operands if isinstance(o, ast.Name)}
+    consts = {o.value for o in operands if isinstance(o, ast.Constant)}
+    return "__name__" in names and "__main__" in consts
+
+
+def _guarded_lines(tree: ast.Module) -> Set[int]:
+    """Line numbers inside any ``if __name__ == "__main__"`` block."""
+    lines: Set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.If) and _is_main_guard(node):
+            for child in ast.walk(node):
+                lineno = getattr(child, "lineno", None)
+                if lineno is not None:
+                    lines.add(lineno)
+    return lines
+
+
+@register_rule
+class PrintInLibraryRule(LintRule):
+    code = "H2P107"
+    name = "no-print-in-library"
+    rationale = (
+        "library code reports through the obs recorder (metrics, spans, "
+        "events); print() bypasses it and corrupts machine-read stdout"
+    )
+
+    def check(self, tree: ast.Module, ctx: LintContext) -> Iterator[Finding]:
+        if _exempt_module(ctx):
+            return
+        guarded = _guarded_lines(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            fn = node.func
+            if not (isinstance(fn, ast.Name) and fn.id == "print"):
+                continue
+            if getattr(node, "lineno", 0) in guarded:
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                "print() in library code; use the obs recorder (metrics/"
+                "spans/events) or return the text to a presentation layer",
+            )

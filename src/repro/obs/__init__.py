@@ -1,0 +1,93 @@
+"""``repro.obs`` — observability: spans, metrics, decision provenance.
+
+The planner is a four-stage decision pipeline (Algorithm 1 DP → Eq. 1
+contention scoring → Algorithm 2 LAP mitigation → Algorithm 3 work
+stealing); this package makes every stage observable without a
+debugger:
+
+* **Spans** (:func:`span`): a wall-time span tree of the planner's own
+  execution ("how long did mitigation spend in Kuhn-Munkres?").
+* **Metrics** (:func:`add` / :func:`observe` / :func:`set_gauge`, all
+  flushing through :class:`~repro.obs.metrics.MetricsRegistry`):
+  aggregate work counters — DP cells evaluated, LAP assignments,
+  boundary layers stolen, 2-High contention windows.
+* **Decision provenance** (:func:`emit` + the typed events in
+  :mod:`repro.obs.events`): the committed decisions themselves, replayable
+  into the final plan (:func:`~repro.obs.provenance.reconstruct_plan`)
+  and narratable as a terminal report
+  (:func:`~repro.obs.provenance.render_explanation`).
+* **Export** (:mod:`repro.obs.export`, merged by
+  :func:`repro.runtime.tracing.to_chrome_trace`): everything above in
+  one Perfetto/Chrome trace next to the simulated execution.
+
+Everything funnels through one process-global, swappable recorder; the
+default :class:`NullRecorder` makes every instrumentation site cost a
+global load plus an attribute check.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+from .events import (
+    EVENT_KINDS,
+    LayerStolen,
+    OrderCommitted,
+    PlacementChanged,
+    ProvenanceEvent,
+    RequestRelocated,
+    SliceChosen,
+    TailReplaced,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .provenance import reconstruct_plan, render_explanation
+from .recorder import (
+    InMemoryRecorder,
+    NullRecorder,
+    Recorder,
+    add,
+    emit,
+    enabled,
+    get_recorder,
+    observe,
+    set_gauge,
+    set_recorder,
+    span,
+    use_recorder,
+)
+from .spans import NULL_SPAN, NullSpan, Span, set_clock
+
+__all__ = [
+    # recorder + fast-path API
+    "Recorder",
+    "NullRecorder",
+    "InMemoryRecorder",
+    "get_recorder",
+    "set_recorder",
+    "use_recorder",
+    "span",
+    "emit",
+    "add",
+    "observe",
+    "set_gauge",
+    "enabled",
+    # spans
+    "Span",
+    "NullSpan",
+    "NULL_SPAN",
+    "set_clock",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    # provenance
+    "ProvenanceEvent",
+    "SliceChosen",
+    "RequestRelocated",
+    "OrderCommitted",
+    "LayerStolen",
+    "PlacementChanged",
+    "TailReplaced",
+    "EVENT_KINDS",
+    "reconstruct_plan",
+    "render_explanation",
+]

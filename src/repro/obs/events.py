@@ -1,0 +1,180 @@
+"""Typed decision-provenance events emitted by the planner stages.
+
+Each event is an immutable record of one decision the planner *committed
+to*: which slices Algorithm 1 chose, which Low request Algorithm 2
+relocated, which boundary layer Algorithm 3 stole, how the draining tail
+was re-placed.  Together, replayed in order, they reconstruct the final
+:class:`~repro.core.plan.PipelinePlan` (see
+:func:`repro.obs.provenance.reconstruct_plan`) — so a plan can be
+*explained* end to end instead of reverse-engineered from its slices.
+
+Conventions:
+
+* ``request`` on :class:`SliceChosen` / :class:`RequestRelocated` is the
+  *original arrival index*; on post-ordering events (:class:`LayerStolen`,
+  :class:`PlacementChanged`, :class:`TailReplaced`) it is the *execution
+  position* in the committed order (the index :class:`OrderCommitted`
+  maps back to arrival indices).
+* Slices are per-stage ``(start, end)`` inclusive layer bounds, ``None``
+  for an empty stage — the same shape ``StageAssignment.slices`` uses.
+
+This module is a data-only leaf: no clocks, no planner imports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import ClassVar, Dict, Optional, Tuple
+
+#: One stage's inclusive layer bounds (or None for an empty stage).
+Slice = Optional[Tuple[int, int]]
+Slices = Tuple[Slice, ...]
+
+
+@dataclass(frozen=True)
+class ProvenanceEvent:
+    """Base class: every event carries a ``kind`` discriminator."""
+
+    kind: ClassVar[str] = "event"
+
+    def to_dict(self) -> Dict[str, object]:
+        doc = asdict(self)
+        doc["kind"] = self.kind
+        return doc
+
+
+@dataclass(frozen=True)
+class SliceChosen(ProvenanceEvent):
+    """Algorithm 1 committed a horizontal partition for one request.
+
+    Attributes:
+        request: Original arrival index.
+        model: Model name (display identity of the request).
+        slices: The chosen per-stage slices.
+        stage_times_ms: Per-stage cost (exec + boundary copy).
+        makespan_ms: The DP's min-max objective for this request alone.
+    """
+
+    kind: ClassVar[str] = "slice_chosen"
+
+    request: int
+    model: str
+    slices: Slices
+    stage_times_ms: Tuple[float, ...]
+    makespan_ms: float
+
+
+@dataclass(frozen=True)
+class RequestRelocated(ProvenanceEvent):
+    """Algorithm 2 moved a Low request between two conflicting Highs.
+
+    Attributes:
+        request: Original arrival index of the relocated (Low) request.
+        source_position: Its position before the move.
+        target_position: Its position after the move.
+        displacement: ``|target - source|`` (the Eq. 10 cost).
+    """
+
+    kind: ClassVar[str] = "request_relocated"
+
+    request: int
+    source_position: int
+    target_position: int
+    displacement: int
+
+
+@dataclass(frozen=True)
+class OrderCommitted(ProvenanceEvent):
+    """The planner chose between the arrival and the mitigated order.
+
+    Attributes:
+        order: Execution position -> original arrival index.
+        arrival_makespan_ms: Contention-aware makespan of the arrival
+            order after its own vertical phase.
+        chosen_makespan_ms: Makespan of the committed order.
+        mitigated: True when the Algorithm 2 re-ordering won.
+    """
+
+    kind: ClassVar[str] = "order_committed"
+
+    order: Tuple[int, ...]
+    arrival_makespan_ms: float
+    chosen_makespan_ms: float
+    mitigated: bool
+
+
+@dataclass(frozen=True)
+class LayerStolen(ProvenanceEvent):
+    """Algorithm 3 moved one boundary layer between adjacent stages.
+
+    Attributes:
+        request: Execution position of the donor/recipient request.
+        from_stage: Stage the layer left.
+        to_stage: Adjacent stage the layer joined.
+        layer: The moved layer's index in the model.
+        phase: ``"window-steal"`` (phase 1 critical-path alignment) or
+            ``"global-refine"`` (the descent on the async makespan).
+        gain_ms: Objective improvement this single move bought.
+    """
+
+    kind: ClassVar[str] = "layer_stolen"
+
+    request: int
+    from_stage: int
+    to_stage: int
+    layer: int
+    phase: str
+    gain_ms: float
+
+
+@dataclass(frozen=True)
+class PlacementChanged(ProvenanceEvent):
+    """The per-request placement search moved a request wholesale.
+
+    Attributes:
+        request: Execution position.
+        slices_before: Partition before the change.
+        slices_after: The committed single-processor placement.
+        makespan_before_ms: Plan makespan before the change.
+        makespan_after_ms: Plan makespan after the change.
+    """
+
+    kind: ClassVar[str] = "placement_changed"
+
+    request: int
+    slices_before: Slices
+    slices_after: Slices
+    makespan_before_ms: float
+    makespan_after_ms: float
+
+
+@dataclass(frozen=True)
+class TailReplaced(ProvenanceEvent):
+    """Phase 2 re-allocated the draining tail request.
+
+    Same fields as :class:`PlacementChanged`; kept as its own type
+    because the paper singles the tail out ("the search space is only
+    K") and the explain report calls it out separately.
+    """
+
+    kind: ClassVar[str] = "tail_replaced"
+
+    request: int
+    slices_before: Slices
+    slices_after: Slices
+    makespan_before_ms: float
+    makespan_after_ms: float
+
+
+#: kind string -> event class, for deserialization and filtering.
+EVENT_KINDS: Dict[str, type] = {
+    cls.kind: cls
+    for cls in (
+        SliceChosen,
+        RequestRelocated,
+        OrderCommitted,
+        LayerStolen,
+        PlacementChanged,
+        TailReplaced,
+    )
+}

@@ -1,0 +1,149 @@
+"""Chrome/Perfetto trace-event builders for observability data.
+
+Pure functions from recorder contents to Chrome-tracing ``traceEvents``
+dicts.  The merge with the *executor's* slice records happens one layer
+up in :func:`repro.runtime.tracing.to_chrome_trace` (runtime may import
+obs, never the reverse); this module only knows spans, metrics and flow
+arrows.
+
+Only the event phases ``X`` (complete slice), ``M`` (metadata), ``C``
+(counter) and ``s``/``f`` (flow start/finish) are ever emitted — the
+schema the export tests validate.
+
+Time bases: planner spans are wall time normalized so the earliest root
+span starts at ts 0; the executor timeline is simulated time, also
+starting at 0.  The two live in separate trace *processes* (pids), so
+Perfetto renders them as distinct tracks instead of pretending the
+clocks are comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .metrics import MetricsRegistry
+from .spans import Span
+
+#: pid of the simulated-execution timeline in merged traces.
+EXECUTION_PID = 0
+#: pid of the planner wall-time timeline in merged traces.
+PLANNER_PID = 1
+
+TraceEvent = Dict[str, object]
+
+
+def process_metadata(pid: int, name: str, sort_index: int = 0) -> List[TraceEvent]:
+    """``process_name`` (+ sort index) metadata events for one pid."""
+    events: List[TraceEvent] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": name},
+        }
+    ]
+    if sort_index:
+        events.append(
+            {
+                "name": "process_sort_index",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"sort_index": sort_index},
+            }
+        )
+    return events
+
+
+def thread_metadata(pid: int, tid: int, name: str) -> TraceEvent:
+    return {
+        "name": "thread_name",
+        "ph": "M",
+        "pid": pid,
+        "tid": tid,
+        "args": {"name": name},
+    }
+
+
+def span_trace_events(
+    roots: Sequence[Span],
+    pid: int = PLANNER_PID,
+    tid: int = 0,
+) -> List[TraceEvent]:
+    """Flatten span trees into ``X`` events (µs, earliest root at 0)."""
+    if not roots:
+        return []
+    t0 = min(root.start_s for root in roots)
+    events: List[TraceEvent] = []
+    for root in roots:
+        for span in root.walk():
+            end_s = span.end_s if span.end_s is not None else span.start_s
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": "planner",
+                    "ph": "X",
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": (span.start_s - t0) * 1e6,
+                    "dur": max(0.0, (end_s - span.start_s) * 1e6),
+                    "args": {k: _jsonable(v) for k, v in span.attrs.items()},
+                }
+            )
+    events.sort(key=lambda e: e["ts"])  # type: ignore[arg-type, return-value]
+    return events
+
+
+def metric_counter_events(
+    registry: MetricsRegistry,
+    pid: int = PLANNER_PID,
+    ts_us: float = 0.0,
+) -> List[TraceEvent]:
+    """One ``C`` sample per counter/gauge (final values as tracks)."""
+    snap = registry.snapshot()
+    events: List[TraceEvent] = []
+    for section in ("counters", "gauges"):
+        values = snap[section]
+        for name, value in values.items():  # type: ignore[union-attr]
+            events.append(
+                {
+                    "name": name,
+                    "cat": "metrics",
+                    "ph": "C",
+                    "pid": pid,
+                    "tid": 0,
+                    "ts": ts_us,
+                    "args": {"value": value},
+                }
+            )
+    return events
+
+
+def flow_pair(
+    name: str,
+    flow_id: int,
+    start: Dict[str, float],
+    finish: Dict[str, float],
+    cat: str = "provenance",
+    args: Optional[Dict[str, object]] = None,
+) -> List[TraceEvent]:
+    """A flow arrow: ``s`` at ``start`` and ``f`` at ``finish``.
+
+    ``start`` / ``finish`` supply ``pid``, ``tid`` and ``ts`` (µs); the
+    ts of each endpoint must fall inside an ``X`` slice on that track
+    for viewers to bind the arrow.
+    """
+    base = {"name": name, "cat": cat, "id": flow_id, "args": args or {}}
+    s: TraceEvent = dict(base)
+    s.update({"ph": "s", **start})
+    f: TraceEvent = dict(base)
+    f.update({"ph": "f", "bp": "e", **finish})
+    return [s, f]
+
+
+def _jsonable(value: object) -> object:
+    """Clamp attribute values to JSON-safe primitives."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)

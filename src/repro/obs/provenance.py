@@ -1,0 +1,217 @@
+"""Replaying and explaining the planner's decision-provenance log.
+
+Two consumers of the event stream live here:
+
+* :func:`reconstruct_plan` — replay the committed events into the final
+  execution order and per-request slices.  This is the integrity check
+  behind the provenance log: if replaying the log does not produce the
+  plan the planner returned, an instrumentation site is missing or
+  lying (the round-trip test in ``tests/test_obs_trace.py`` enforces
+  it for every planner configuration).
+* :func:`render_explanation` — the terminal ``hetero2pipe stats``
+  report: why each request sits where it sits, which layers moved and
+  what each decision bought in makespan.
+
+Both operate on plain event data — no planner or plan imports — so the
+module stays a leaf next to :mod:`repro.obs.events`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .events import (
+    LayerStolen,
+    OrderCommitted,
+    PlacementChanged,
+    ProvenanceEvent,
+    RequestRelocated,
+    Slice,
+    SliceChosen,
+    Slices,
+    TailReplaced,
+)
+
+
+def _apply_steal(slices: List[Slice], from_stage: int, to_stage: int) -> None:
+    """Replay one boundary-layer move (mirror of ``move_boundary_layer``)."""
+    src = slices[from_stage]
+    if src is None:
+        raise ValueError(
+            f"provenance replay: steal from empty stage {from_stage}"
+        )
+    start, end = src
+    dst = slices[to_stage]
+    if to_stage > from_stage:
+        slices[from_stage] = None if start > end - 1 else (start, end - 1)
+        slices[to_stage] = (end, end) if dst is None else (end, dst[1])
+    else:
+        slices[from_stage] = None if start + 1 > end else (start + 1, end)
+        slices[to_stage] = (start, start) if dst is None else (dst[0], start)
+
+
+def reconstruct_plan(
+    events: Sequence[ProvenanceEvent],
+) -> Tuple[Tuple[int, ...], List[Slices]]:
+    """Replay a committed provenance log into the final plan shape.
+
+    Args:
+        events: The recorder's event list, in emission order.
+
+    Returns:
+        ``(order, slices)`` where ``order`` maps execution position to
+        original arrival index and ``slices[pos]`` is that request's
+        final per-stage partition — byte-for-byte what
+        ``report.plan.order`` / ``report.plan.assignments[pos].slices``
+        hold for the same planning run.
+
+    Raises:
+        ValueError: on an incomplete or out-of-order log (a missing
+            ``SliceChosen``, post-ordering events before
+            ``OrderCommitted``, or no ``OrderCommitted`` at all).
+    """
+    chosen: Dict[int, Slices] = {}
+    order: Optional[Tuple[int, ...]] = None
+    current: List[List[Slice]] = []
+    for event in events:
+        if isinstance(event, SliceChosen):
+            chosen[event.request] = tuple(event.slices)
+        elif isinstance(event, OrderCommitted):
+            missing = [i for i in event.order if i not in chosen]
+            if missing:
+                raise ValueError(
+                    f"provenance replay: no slice_chosen for requests {missing}"
+                )
+            order = tuple(event.order)
+            current = [list(chosen[i]) for i in order]
+        elif isinstance(event, LayerStolen):
+            if order is None:
+                raise ValueError(
+                    "provenance replay: layer_stolen before order_committed"
+                )
+            _apply_steal(current[event.request], event.from_stage, event.to_stage)
+        elif isinstance(event, (PlacementChanged, TailReplaced)):
+            if order is None:
+                raise ValueError(
+                    f"provenance replay: {event.kind} before order_committed"
+                )
+            current[event.request] = list(event.slices_after)
+        # RequestRelocated carries no slice change: the committed order
+        # already reflects it via OrderCommitted.
+    if order is None:
+        raise ValueError("provenance replay: log has no order_committed event")
+    return order, [tuple(s) for s in current]
+
+
+def _fmt_slices(
+    slices: Slices, processor_names: Optional[Sequence[str]]
+) -> str:
+    parts = []
+    for k, slc in enumerate(slices):
+        if slc is None:
+            continue
+        stage = processor_names[k] if processor_names else f"stage{k}"
+        parts.append(f"{stage}[{slc[0]}:{slc[1]}]")
+    return " ".join(parts) if parts else "(empty)"
+
+
+def render_explanation(
+    events: Sequence[ProvenanceEvent],
+    processor_names: Optional[Sequence[str]] = None,
+) -> str:
+    """Human-readable end-to-end explanation of a committed plan.
+
+    Walks the provenance log in stage order — partitions, relocations,
+    the order decision, layer steals, placement changes, the tail — and
+    narrates each decision with its before/after numbers.
+    """
+    slice_events = [e for e in events if isinstance(e, SliceChosen)]
+    relocations = [e for e in events if isinstance(e, RequestRelocated)]
+    orders = [e for e in events if isinstance(e, OrderCommitted)]
+    steals = [e for e in events if isinstance(e, LayerStolen)]
+    placements = [e for e in events if isinstance(e, PlacementChanged)]
+    tails = [e for e in events if isinstance(e, TailReplaced)]
+
+    if not slice_events and not orders:
+        return "(no provenance recorded — is an InMemoryRecorder installed?)"
+
+    names = {e.request: e.model for e in slice_events}
+    lines: List[str] = ["plan provenance:"]
+
+    lines.append("  1. horizontal partitions (Algorithm 1 DP):")
+    for e in slice_events:
+        lines.append(
+            f"     request {e.request} ({names.get(e.request, '?')}): "
+            f"{_fmt_slices(e.slices, processor_names)}  "
+            f"stage-makespan {e.makespan_ms:.2f} ms"
+        )
+
+    lines.append("  2. contention mitigation (Algorithm 2 LAP):")
+    if relocations:
+        for e in relocations:
+            lines.append(
+                f"     request {e.request} ({names.get(e.request, '?')}) "
+                f"relocated position {e.source_position} -> "
+                f"{e.target_position} (displacement {e.displacement}) to "
+                "interleave a Low request between conflicting "
+                "High-contention neighbours"
+            )
+    else:
+        lines.append("     no relocations committed")
+
+    if orders:
+        e = orders[-1]
+        if e.mitigated:
+            lines.append(
+                f"     mitigated order {e.order} accepted: makespan "
+                f"{e.chosen_makespan_ms:.2f} ms vs {e.arrival_makespan_ms:.2f} "
+                "ms for the arrival order"
+            )
+        else:
+            lines.append(
+                f"     arrival order {e.order} kept "
+                f"(makespan {e.chosen_makespan_ms:.2f} ms)"
+            )
+
+    lines.append("  3. vertical alignment (Algorithm 3 work stealing):")
+    if steals:
+        per_request: Dict[int, List[LayerStolen]] = {}
+        for s in steals:
+            per_request.setdefault(s.request, []).append(s)
+        for pos in sorted(per_request):
+            moves = per_request[pos]
+            gain = sum(m.gain_ms for m in moves)
+            detail = ", ".join(
+                f"layer {m.layer}: stage {m.from_stage}->{m.to_stage} "
+                f"({m.phase})"
+                for m in moves
+            )
+            lines.append(
+                f"     position {pos}: {len(moves)} boundary move(s), "
+                f"objective gain {gain:.2f} ms — {detail}"
+            )
+    else:
+        lines.append("     no boundary layers moved")
+
+    if placements or tails:
+        lines.append("  4. placement search and tail re-allocation:")
+        for e in placements:
+            lines.append(
+                f"     position {e.request} re-placed "
+                f"{_fmt_slices(e.slices_before, processor_names)} -> "
+                f"{_fmt_slices(e.slices_after, processor_names)}  "
+                f"makespan {e.makespan_before_ms:.2f} -> "
+                f"{e.makespan_after_ms:.2f} ms"
+            )
+        for e in tails:
+            lines.append(
+                f"     tail (position {e.request}) re-allocated "
+                f"{_fmt_slices(e.slices_before, processor_names)} -> "
+                f"{_fmt_slices(e.slices_after, processor_names)}  "
+                f"makespan {e.makespan_before_ms:.2f} -> "
+                f"{e.makespan_after_ms:.2f} ms"
+            )
+    else:
+        lines.append("  4. placement search and tail: no changes")
+
+    return "\n".join(lines)

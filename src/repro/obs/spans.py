@@ -1,0 +1,126 @@
+"""Span trees: hierarchical wall-time instrumentation.
+
+A :class:`Span` is one timed region with structured attributes; spans
+nest into a tree via a per-thread stack the recorder maintains, so the
+planner's four stages appear as children of one ``plan`` root and every
+``partition`` span hangs under it.  Spans measure *wall* time — they
+describe how long the planner itself ran, never simulated time, which
+is exactly why the H2P101 wall-clock ban covers ``core``/``runtime``
+but not this package: the clock read lives here, behind the recorder,
+and instrumented code only ever observes it through the span API.
+
+The clock is injectable (:func:`set_clock`) so tests can assert exact
+durations deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional
+
+#: The span clock: seconds as a float.  Swappable for deterministic tests.
+_clock: Callable[[], float] = time.perf_counter
+
+
+def set_clock(clock: Callable[[], float]) -> Callable[[], float]:
+    """Replace the span clock; returns the previous one (for restore)."""
+    global _clock
+    previous = _clock
+    _clock = clock
+    return previous
+
+
+def now_s() -> float:
+    """Current span-clock reading in seconds."""
+    return _clock()
+
+
+class Span:
+    """One timed region with attributes and child spans.
+
+    Use as a context manager (via :func:`repro.obs.span`); attributes
+    given at creation can be extended mid-flight with :meth:`set`.
+    """
+
+    __slots__ = ("name", "attrs", "start_s", "end_s", "children", "_on_close")
+
+    def __init__(
+        self,
+        name: str,
+        attrs: Optional[Dict[str, object]] = None,
+        on_close: Optional[Callable[["Span"], None]] = None,
+    ) -> None:
+        self.name = name
+        self.attrs: Dict[str, object] = dict(attrs or {})
+        self.start_s: float = now_s()
+        self.end_s: Optional[float] = None
+        self.children: List["Span"] = []
+        self._on_close = on_close
+
+    def set(self, **attrs: object) -> "Span":
+        """Attach/overwrite attributes; returns self for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+    def close(self) -> None:
+        if self.end_s is None:
+            self.end_s = now_s()
+            if self._on_close is not None:
+                self._on_close(self)
+
+    @property
+    def duration_ms(self) -> float:
+        """Wall duration in milliseconds (up to now for an open span)."""
+        end = self.end_s if self.end_s is not None else now_s()
+        return (end - self.start_s) * 1e3
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def walk(self) -> List["Span"]:
+        """This span and every descendant, depth-first pre-order."""
+        out: List[Span] = [self]
+        for child in self.children:
+            out.extend(child.walk())
+        return out
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "start_s": self.start_s,
+            "duration_ms": self.duration_ms,
+            "attrs": dict(self.attrs),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Span({self.name!r}, {self.duration_ms:.3f} ms, {self.attrs})"
+
+
+class NullSpan:
+    """The shared no-op span: every operation does nothing.
+
+    A single module-level instance is handed out whenever the recorder
+    is disabled, so the disabled path allocates nothing.
+    """
+
+    __slots__ = ()
+
+    def set(self, **attrs: object) -> "NullSpan":
+        return self
+
+    def close(self) -> None:
+        return None
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+#: The singleton no-op span (stateless, safe to reuse and re-enter).
+NULL_SPAN = NullSpan()

@@ -33,6 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..hardware.memory import MemoryDemand, MemoryGovernor
 from ..hardware.processor import ProcessorSpec
 from ..hardware.soc import SocSpec
@@ -163,6 +164,7 @@ def simulate_chains(
     enforce_memory: bool = True,
     trace: bool = False,
     processor_offline_ms: Optional[Dict[str, float]] = None,
+    record: bool = True,
 ) -> ExecutionResult:
     """Simulate per-request task chains on one SoC.
 
@@ -178,6 +180,11 @@ def simulate_chains(
             accepting *new* tasks at the given times (a running task
             completes); pending tasks bound for an offline unit fall
             back to the best online processor supporting their slice.
+        record: Feed the observability recorder (span + execution
+            metrics).  The planner's objective function re-simulates
+            candidate plans hundreds of times per plan; those internal
+            evaluations pass False so ``tasks_executed`` and the
+            ``execute`` span describe only real executions.
 
     Returns:
         The :class:`ExecutionResult`.
@@ -383,79 +390,105 @@ def simulate_chains(
             )
         )
 
-    while completed < total_tasks:
-        if offline:
-            reassign_offline_heads()
-        memory_blocked = try_start()
-        running = [t for t in proc_running.values() if t is not None]
-        if not running and memory_blocked:
-            if force_start_blocked():
-                running = [t for t in proc_running.values() if t is not None]
-        record_trace()
-        if not running:
-            future = [a for a in arrivals if a > now + _EPS]
-            if not future:
-                raise RuntimeError(
-                    "simulation wedged: no running task and no arrival"
-                )
-            now = min(future)
-            continue
-
-        rates: Dict[int, float] = {}
-        for task in running:
-            slowdown = 0.0
-            if with_contention and task.workload is not None:
-                others = [
-                    t.workload
-                    for t in running
-                    if t is not task and t.workload is not None
-                ]
-                slowdown = slowdown_fraction(soc, task.workload, others)
-            rates[id(task)] = 1.0 + slowdown
-
-        dt = min(task.remaining_ms * rates[id(task)] for task in running)
-        future = [a - now for a in arrivals if a > now + _EPS]
-        if future:
-            dt = min(dt, min(future))
-        fault_edges = [t - now for t in offline.values() if t > now + _EPS]
-        if fault_edges:
-            dt = min(dt, min(fault_edges))
-        dt = max(dt, _EPS)
-
-        for task in running:
-            task.remaining_ms -= dt / rates[id(task)]
-            busy[task.proc.name] += dt
-        now += dt
-
-        for proc in soc.processors:
-            task = proc_running[proc.name]
-            if task is not None and task.remaining_ms <= _EPS * 10:
-                proc_running[proc.name] = None
-                prev_done[task.request] = True
-                finish[task.request] = now
-                completed += 1
-                if next_idx[task.request] >= len(chains[task.request]):
-                    # Last stage done: release the request's arenas.
-                    used_bytes -= request_alloc.pop(task.request, 0.0)
-                traffic = 0.0
-                if task.workload is not None:
-                    traffic = task.workload.profile.traffic_bytes(
-                        task.workload.proc,
-                        task.workload.start,
-                        task.workload.end,
+    # The span covers exactly the event loop's wall time; the context
+    # manager closes it on the RuntimeError raise paths too.
+    _span_cm = (
+        obs.span(
+            "execute",
+            requests=n,
+            tasks=total_tasks,
+            contention=with_contention,
+        )
+        if record
+        else obs.NULL_SPAN
+    )
+    with _span_cm as _span:
+        while completed < total_tasks:
+            if offline:
+                reassign_offline_heads()
+            memory_blocked = try_start()
+            running = [t for t in proc_running.values() if t is not None]
+            if not running and memory_blocked:
+                if force_start_blocked():
+                    running = [
+                        t for t in proc_running.values() if t is not None
+                    ]
+            record_trace()
+            if not running:
+                future = [a for a in arrivals if a > now + _EPS]
+                if not future:
+                    raise RuntimeError(
+                        "simulation wedged: no running task and no arrival"
                     )
-                records.append(
-                    TaskRecord(
-                        request=task.request,
-                        stage=task.stage,
-                        processor=proc.name,
-                        start_ms=task.start_ms or 0.0,
-                        finish_ms=now,
-                        solo_ms=task.solo_ms,
-                        traffic_bytes=traffic,
+                now = min(future)
+                continue
+
+            rates: Dict[int, float] = {}
+            for task in running:
+                slowdown = 0.0
+                if with_contention and task.workload is not None:
+                    others = [
+                        t.workload
+                        for t in running
+                        if t is not task and t.workload is not None
+                    ]
+                    slowdown = slowdown_fraction(soc, task.workload, others)
+                rates[id(task)] = 1.0 + slowdown
+
+            dt = min(task.remaining_ms * rates[id(task)] for task in running)
+            future = [a - now for a in arrivals if a > now + _EPS]
+            if future:
+                dt = min(dt, min(future))
+            fault_edges = [
+                t - now for t in offline.values() if t > now + _EPS
+            ]
+            if fault_edges:
+                dt = min(dt, min(fault_edges))
+            dt = max(dt, _EPS)
+
+            for task in running:
+                task.remaining_ms -= dt / rates[id(task)]
+                busy[task.proc.name] += dt
+            now += dt
+
+            for proc in soc.processors:
+                task = proc_running[proc.name]
+                if task is not None and task.remaining_ms <= _EPS * 10:
+                    proc_running[proc.name] = None
+                    prev_done[task.request] = True
+                    finish[task.request] = now
+                    completed += 1
+                    if next_idx[task.request] >= len(chains[task.request]):
+                        # Last stage done: release the request's arenas.
+                        used_bytes -= request_alloc.pop(task.request, 0.0)
+                    traffic = 0.0
+                    if task.workload is not None:
+                        traffic = task.workload.profile.traffic_bytes(
+                            task.workload.proc,
+                            task.workload.start,
+                            task.workload.end,
+                        )
+                    records.append(
+                        TaskRecord(
+                            request=task.request,
+                            stage=task.stage,
+                            processor=proc.name,
+                            start_ms=task.start_ms or 0.0,
+                            finish_ms=now,
+                            solo_ms=task.solo_ms,
+                            traffic_bytes=traffic,
+                        )
                     )
-                )
-        record_trace()
+            record_trace()
+        _span.set(makespan_ms=now, memory_pressure=memory_pressure_events)
+
+    if record and obs.enabled():
+        obs.add("tasks_executed", total_tasks)
+        obs.add("memory_pressure_events", memory_pressure_events)
+        obs.set_gauge("last_execution_makespan_ms", now)
+        for record in records:
+            if record.solo_ms > 0:
+                obs.observe("slice_slowdown", record.slowdown)
 
     return ExecutionResult(
         records=records,
@@ -505,11 +538,13 @@ class PipelineExecutor:
         with_contention: bool = True,
         enforce_memory: bool = True,
         trace: bool = False,
+        record: bool = True,
     ):
         self.plan = plan
         self.with_contention = with_contention
         self.enforce_memory = enforce_memory
         self.trace_enabled = trace
+        self.record = record
 
     def run(self, arrivals: Optional[Sequence[float]] = None) -> ExecutionResult:
         """Simulate the plan (see :func:`simulate_chains`)."""
@@ -520,6 +555,7 @@ class PipelineExecutor:
             with_contention=self.with_contention,
             enforce_memory=self.enforce_memory,
             trace=self.trace_enabled,
+            record=self.record,
         )
 
 
@@ -529,6 +565,7 @@ def execute_plan(
     with_contention: bool = True,
     enforce_memory: bool = True,
     trace: bool = False,
+    record: bool = True,
 ) -> ExecutionResult:
     """Convenience wrapper: build an executor and run it."""
     return PipelineExecutor(
@@ -536,4 +573,5 @@ def execute_plan(
         with_contention=with_contention,
         enforce_memory=enforce_memory,
         trace=trace,
+        record=record,
     ).run(arrivals)

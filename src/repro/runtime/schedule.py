@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..profiling.slowdown import SliceWorkload, slowdown_fraction
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
@@ -163,8 +164,12 @@ def async_makespan_ms(plan: "PipelinePlan", with_contention: bool = True) -> flo
     """
     from .executor import execute_plan  # local import: avoid cycle
 
+    obs.add("objective_evaluations")
     return execute_plan(
-        plan, with_contention=with_contention, enforce_memory=False
+        plan,
+        with_contention=with_contention,
+        enforce_memory=False,
+        record=False,
     ).makespan_ms
 
 

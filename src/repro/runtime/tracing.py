@@ -5,20 +5,238 @@ a human can inspect: the Chrome tracing format (open ``chrome://tracing``
 or Perfetto and drop the file in) and a terminal Gantt rendering used by
 the examples.  Both views make pipeline bubbles visible as gaps in a
 processor's row.
+
+When an :class:`~repro.obs.InMemoryRecorder` that watched the planning
+run is passed in, :func:`to_chrome_trace` merges everything it captured
+into the same document:
+
+* planner span trees as ``X`` slices on a second trace process
+  (``pid 1``, wall time — kept apart from the simulated-time execution
+  process so Perfetto never pretends the clocks are comparable);
+* the metrics registry as ``C`` counter tracks;
+* decision provenance as ``s``/``f`` flow arrows — a stolen boundary
+  layer draws an arrow between the donor and recipient stage slices
+  (falling back to planner-span → request-slice when a later phase
+  erased the stage), a mitigation relocation draws one from the
+  ``plan.mitigate`` span to the relocated request's first executed
+  slice.
+
+Only the phases ``X``/``M``/``C``/``s``/``f`` are ever emitted; the
+export tests schema-validate this.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from .. import obs
+from ..obs import export as obs_export
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .executor import ExecutionResult
+
+_EPS_MS = 1e-9
+
+
+def _queue_depth(result: "ExecutionResult", time_ms: float) -> int:
+    """Requests waiting at ``time_ms``: arrived, unfinished, not running."""
+    depth = 0
+    for r in range(result.num_requests):
+        if result.request_arrival_ms[r] > time_ms + _EPS_MS:
+            continue
+        if result.request_finish_ms[r] <= time_ms + _EPS_MS:
+            continue
+        running = any(
+            rec.request == r
+            and rec.start_ms - _EPS_MS <= time_ms < rec.finish_ms - _EPS_MS
+            for rec in result.records
+        )
+        if not running:
+            depth += 1
+    return depth
+
+
+def _trace_counter_events(result: "ExecutionResult") -> List[Dict]:
+    """Counter tracks sampled at every TracePoint (queue depth & memory)."""
+    events: List[Dict] = []
+    for point in result.trace:
+        ts = point.time_ms * 1000.0
+        events.append(
+            {
+                "name": "queue_depth",
+                "cat": "runtime",
+                "ph": "C",
+                "pid": obs_export.EXECUTION_PID,
+                "tid": 0,
+                "ts": ts,
+                "args": {"requests": _queue_depth(result, point.time_ms)},
+            }
+        )
+        events.append(
+            {
+                "name": "bandwidth_demand_gbps",
+                "cat": "runtime",
+                "ph": "C",
+                "pid": obs_export.EXECUTION_PID,
+                "tid": 0,
+                "ts": ts,
+                "args": {"gbps": round(point.bandwidth_demand_gbps, 4)},
+            }
+        )
+        events.append(
+            {
+                "name": "memory_used_mb",
+                "cat": "runtime",
+                "ph": "C",
+                "pid": obs_export.EXECUTION_PID,
+                "tid": 0,
+                "ts": ts,
+                "args": {"mb": round(point.used_bytes / 1e6, 3)},
+            }
+        )
+    return events
+
+
+def _slice_anchor(
+    records_by: Dict[Tuple[int, int], "object"],
+    tids: Dict[str, int],
+    request: int,
+    stage: int,
+) -> Optional[Dict[str, float]]:
+    """Flow endpoint (pid/tid/ts) at the midpoint of one executed slice."""
+    rec = records_by.get((request, stage))
+    if rec is None:
+        return None
+    return {
+        "pid": obs_export.EXECUTION_PID,
+        "tid": tids[rec.processor],  # type: ignore[attr-defined]
+        "ts": (rec.start_ms + rec.finish_ms) / 2.0 * 1000.0,  # type: ignore[attr-defined]
+    }
+
+
+def _provenance_flows(
+    result: "ExecutionResult",
+    recorder: "obs.InMemoryRecorder",
+    tids: Dict[str, int],
+    planner_events: List[Dict],
+) -> List[Dict]:
+    """Flow arrows for committed steal/relocate decisions.
+
+    ``LayerStolen`` arrows connect the donor stage's slice to the
+    recipient stage's slice of the same request.  When an endpoint
+    stage no longer exists in the executed plan (the steal emptied it,
+    or a later placement/tail phase replaced the whole assignment) the
+    arrow falls back to planner-to-execution: from the winning
+    ``plan.vertical`` span to the request's first executed slice.
+    ``RequestRelocated`` arrows run from the ``plan.mitigate`` planner
+    span to the relocated request's first executed slice, crossing the
+    two trace processes.
+    """
+    records_by: Dict[Tuple[int, int], object] = {}
+    for rec in result.records:
+        records_by[(rec.request, rec.stage)] = rec
+
+    order: Optional[Tuple[int, ...]] = None
+    for event in recorder.events:
+        if event.kind == "order_committed":
+            order = event.order  # type: ignore[attr-defined]
+
+    def _planner_anchor(span_name: str) -> Optional[Dict[str, float]]:
+        for pe in planner_events:
+            if pe.get("name") == span_name:
+                ts = float(pe["ts"]) + float(pe["dur"]) / 2.0  # type: ignore[arg-type]
+                return {
+                    "pid": obs_export.PLANNER_PID,
+                    "tid": 0,
+                    "ts": ts,
+                }
+        return None
+
+    def _first_slice_anchor(exec_pos: int) -> Optional[Dict[str, float]]:
+        first = min(
+            (r for r in result.records if r.request == exec_pos),
+            key=lambda r: r.start_ms,
+            default=None,
+        )
+        if first is None:
+            return None
+        return {
+            "pid": obs_export.EXECUTION_PID,
+            "tid": tids[first.processor],
+            "ts": (first.start_ms + first.finish_ms) / 2.0 * 1000.0,
+        }
+
+    mitigate_anchor = _planner_anchor("plan.mitigate")
+    vertical_anchor = _planner_anchor("plan.vertical")
+
+    flows: List[Dict] = []
+    flow_id = 1
+    for event in recorder.events:
+        if event.kind == "layer_stolen":
+            start = _slice_anchor(
+                records_by, tids, event.request, event.from_stage  # type: ignore[attr-defined]
+            )
+            finish = _slice_anchor(
+                records_by, tids, event.request, event.to_stage  # type: ignore[attr-defined]
+            )
+            if start is not None and finish is not None:
+                # Same-process arrow: keep it pointing forward in time.
+                if finish["ts"] < start["ts"]:
+                    start, finish = finish, start
+            else:
+                # Stage endpoint gone from the final plan — bind the
+                # decision to the planner span and the request's slice
+                # (cross-process, so the clocks are not comparable).
+                start = vertical_anchor
+                finish = _first_slice_anchor(event.request)  # type: ignore[attr-defined]
+            if start is None or finish is None:
+                continue
+            flows.extend(
+                obs_export.flow_pair(
+                    "layer_stolen",
+                    flow_id,
+                    start,
+                    finish,
+                    args={
+                        "layer": event.layer,  # type: ignore[attr-defined]
+                        "phase": event.phase,  # type: ignore[attr-defined]
+                        "gain_ms": round(event.gain_ms, 4),  # type: ignore[attr-defined]
+                    },
+                )
+            )
+            flow_id += 1
+        elif event.kind == "request_relocated":
+            if mitigate_anchor is None or order is None:
+                continue
+            item = event.request  # type: ignore[attr-defined]
+            if item not in order:
+                continue
+            exec_pos = order.index(item)
+            finish = _first_slice_anchor(exec_pos)
+            if finish is None:
+                continue
+            flows.extend(
+                obs_export.flow_pair(
+                    "request_relocated",
+                    flow_id,
+                    dict(mitigate_anchor),
+                    finish,
+                    args={
+                        "request": item,
+                        "from_position": event.source_position,  # type: ignore[attr-defined]
+                        "to_position": event.target_position,  # type: ignore[attr-defined]
+                    },
+                )
+            )
+            flow_id += 1
+    return flows
 
 
 def to_chrome_trace(
     result: "ExecutionResult",
     request_names: Optional[Sequence[str]] = None,
+    recorder: Optional["obs.InMemoryRecorder"] = None,
 ) -> str:
     """Serialize a run as a Chrome trace (JSON string).
 
@@ -26,6 +244,10 @@ def to_chrome_trace(
         result: The simulated execution.
         request_names: Optional display names per request (model names);
             defaults to ``request <i>``.
+        recorder: An :class:`~repro.obs.InMemoryRecorder` that watched
+            the planning run; when given, planner spans, metric counter
+            tracks and provenance flow arrows are merged in (see module
+            docstring).
 
     Returns:
         A JSON document in the Chrome tracing "traceEvents" format with
@@ -46,23 +268,23 @@ def to_chrome_trace(
 
     processors = sorted({r.processor for r in result.records})
     tids = {name: i for i, name in enumerate(processors)}
-    events: List[Dict] = [
-        {
-            "name": "thread_name",
-            "ph": "M",
-            "pid": 0,
-            "tid": tid,
-            "args": {"name": proc},
-        }
+    events: List[Dict] = []
+    events.extend(
+        obs_export.process_metadata(
+            obs_export.EXECUTION_PID, "execution (simulated time)"
+        )
+    )
+    events.extend(
+        obs_export.thread_metadata(obs_export.EXECUTION_PID, tid, proc)
         for proc, tid in tids.items()
-    ]
+    )
     for rec in sorted(result.records, key=lambda r: r.start_ms):
         events.append(
             {
                 "name": f"{name_of(rec.request)} / stage {rec.stage}",
                 "cat": "slice",
                 "ph": "X",
-                "pid": 0,
+                "pid": obs_export.EXECUTION_PID,
                 "tid": tids[rec.processor],
                 "ts": rec.start_ms * 1000.0,
                 "dur": rec.duration_ms * 1000.0,
@@ -73,6 +295,39 @@ def to_chrome_trace(
                 },
             }
         )
+    events.extend(_trace_counter_events(result))
+
+    if recorder is not None and recorder.enabled:
+        planner_events = obs_export.span_trace_events(
+            recorder.spans, pid=obs_export.PLANNER_PID
+        )
+        if planner_events:
+            events.extend(
+                obs_export.process_metadata(
+                    obs_export.PLANNER_PID,
+                    "planner (wall time)",
+                    sort_index=1,
+                )
+            )
+            events.append(
+                obs_export.thread_metadata(
+                    obs_export.PLANNER_PID, 0, "planner"
+                )
+            )
+            events.extend(planner_events)
+        last_ts = max(
+            (float(e["ts"]) + float(e.get("dur", 0.0)) for e in planner_events),
+            default=0.0,
+        )
+        events.extend(
+            obs_export.metric_counter_events(
+                recorder.metrics, pid=obs_export.PLANNER_PID, ts_us=last_ts
+            )
+        )
+        events.extend(
+            _provenance_flows(result, recorder, tids, planner_events)
+        )
+
     return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"})
 
 
@@ -118,7 +373,11 @@ def ascii_gantt(
         f"{glyphs[i % len(glyphs)]}={request_names[i] if request_names else i}"
         for i in range(result.num_requests)
     )
-    lines.append(f"{'':<{label_width}s}  0 ms {'-' * (width - 16)} {span:.0f} ms")
+    # The ruler spans the chart body; at small widths the dashes shrink
+    # to (at least) one instead of going negative.
+    left, right = "0 ms", f"{span:.0f} ms"
+    dashes = max(1, width - len(left) - len(right) - 2)
+    lines.append(f"{'':<{label_width}s}  {left} {'-' * dashes} {right}")
     lines.append(f"legend: {legend}")
     return "\n".join(lines)
 
@@ -127,7 +386,9 @@ def write_chrome_trace(
     result: "ExecutionResult",
     path: str,
     request_names: Optional[Sequence[str]] = None,
+    recorder: Optional["obs.InMemoryRecorder"] = None,
 ) -> None:
-    """Write the Chrome trace JSON to a file."""
+    """Write the (optionally merged, see :func:`to_chrome_trace`)
+    Chrome trace JSON to a file."""
     with open(path, "w", encoding="utf-8") as handle:
-        handle.write(to_chrome_trace(result, request_names))
+        handle.write(to_chrome_trace(result, request_names, recorder=recorder))

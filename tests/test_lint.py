@@ -188,6 +188,51 @@ class TestInfeasibleArithmeticRule:
         assert "H2P105" not in codes
 
 
+class TestPrintRule:
+    def test_print_in_library_module_flagged(self):
+        codes, findings = _lint_snippet(
+            "def plan() -> None:\n    print('makespan', 3)\n"
+        )
+        assert "H2P107" in codes
+        msg = next(f for f in findings if f.code == "H2P107").message
+        assert "obs recorder" in msg
+
+    def test_cli_module_exempt(self):
+        codes, _ = _lint_snippet(
+            "def run() -> None:\n    print('done')\n", module="repro.cli"
+        )
+        assert "H2P107" not in codes
+
+    def test_reporters_module_exempt(self):
+        codes, _ = _lint_snippet(
+            "def render() -> None:\n    print('finding')\n",
+            module="repro.lint.reporters",
+        )
+        assert "H2P107" not in codes
+
+    def test_main_guard_exempt(self):
+        codes, _ = _lint_snippet(
+            "def main() -> int:\n"
+            "    return 0\n"
+            "if __name__ == '__main__':\n"
+            "    print(main())\n",
+            module="repro.experiments.sample",
+        )
+        assert "H2P107" not in codes
+
+    def test_shadowed_or_method_print_unflagged(self):
+        codes, _ = _lint_snippet(
+            "def f(writer) -> None:\n    writer.print('x')\n"
+        )
+        assert "H2P107" not in codes
+
+    def test_non_repro_code_out_of_scope(self):
+        codes, _ = _lint_snippet(
+            "print('hello')\n", module="scripts.helper"
+        )
+        assert "H2P107" not in codes
+
+
 # ------------------------------------------------------------- layering rule
 
 
@@ -224,6 +269,7 @@ class TestLayeringRule:
         # Overrides refine modules of packages that exist in the map.
         for module in MODULE_OVERRIDES:
             assert module.split(".")[1] in LAYERS
+        assert rank_of("repro.obs.recorder") < rank_of("repro.core.plan")
         assert rank_of("repro.runtime.schedule") < rank_of("repro.core.plan")
         assert rank_of("repro.runtime.queueing") > rank_of("repro.baselines.band")
         assert rank_of("numpy") is None
@@ -301,6 +347,7 @@ class TestSuppressionAndReporting:
             "H2P103",
             "H2P104",
             "H2P105",
+            "H2P107",
             "H2P201",
         } <= set(RULE_REGISTRY)
 

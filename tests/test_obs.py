@@ -1,0 +1,348 @@
+"""Tests for ``repro.obs``: spans, metrics, recorder, provenance events.
+
+The observability layer must (a) be a strict no-op when disabled, (b)
+build correct span trees and metric aggregates when enabled, and (c)
+keep the provenance log describing only *committed* decisions via the
+buffered/commit protocol the planner uses for candidate orders.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs import events as obs_events
+from repro.obs import export as obs_export
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.spans import NULL_SPAN, Span, set_clock
+
+
+class FakeClock:
+    """Deterministic, manually-advanced span clock."""
+
+    def __init__(self, start=0.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def tick(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def fake_clock():
+    clock = FakeClock()
+    previous = set_clock(clock)
+    yield clock
+    set_clock(previous)
+
+
+@pytest.fixture
+def recorder():
+    with obs.use_recorder(obs.InMemoryRecorder()) as rec:
+        yield rec
+
+
+# ----------------------------------------------------------------- spans
+
+
+class TestSpans:
+    def test_span_duration_uses_injected_clock(self, fake_clock, recorder):
+        with obs.span("work") as sp:
+            fake_clock.tick(0.25)
+        assert sp.duration_ms == pytest.approx(250.0)
+        assert sp.end_s == pytest.approx(0.25)
+
+    def test_spans_nest_into_a_tree(self, recorder):
+        with obs.span("root"):
+            with obs.span("child-a"):
+                with obs.span("grandchild"):
+                    pass
+            with obs.span("child-b"):
+                pass
+        (root,) = recorder.spans
+        assert root.name == "root"
+        assert [c.name for c in root.children] == ["child-a", "child-b"]
+        assert [c.name for c in root.children[0].children] == ["grandchild"]
+        assert [s.name for s in root.walk()] == [
+            "root", "child-a", "grandchild", "child-b",
+        ]
+
+    def test_sequential_roots_stay_separate(self, recorder):
+        with obs.span("first"):
+            pass
+        with obs.span("second"):
+            pass
+        assert [s.name for s in recorder.spans] == ["first", "second"]
+
+    def test_attrs_set_mid_flight(self, recorder):
+        with obs.span("p", model="bert") as sp:
+            sp.set(makespan_ms=12.5)
+        assert sp.attrs == {"model": "bert", "makespan_ms": 12.5}
+
+    def test_manual_close_is_idempotent(self, fake_clock, recorder):
+        sp = obs.span("manual")
+        fake_clock.tick(1.0)
+        sp.close()
+        fake_clock.tick(1.0)
+        sp.close()  # second close must not move end_s
+        assert sp.duration_ms == pytest.approx(1000.0)
+
+    def test_mis_nested_close_pops_descendants(self, recorder):
+        outer = obs.span("outer")
+        obs.span("inner")  # left open deliberately
+        outer.close()
+        # The stack must be clean again: a new span becomes a new root.
+        with obs.span("after"):
+            pass
+        assert [s.name for s in recorder.spans] == ["outer", "after"]
+
+    def test_to_dict_round_trips_through_json(self, recorder):
+        with obs.span("root", soc="kirin990"):
+            with obs.span("child"):
+                pass
+        doc = json.loads(json.dumps(recorder.spans[0].to_dict()))
+        assert doc["name"] == "root"
+        assert doc["attrs"] == {"soc": "kirin990"}
+        assert doc["children"][0]["name"] == "child"
+
+
+class TestDisabledPath:
+    def test_default_recorder_is_disabled(self):
+        assert not obs.enabled()
+        assert isinstance(obs.get_recorder(), obs.NullRecorder)
+
+    def test_span_returns_the_null_singleton(self):
+        sp = obs.span("anything", big_attr=list(range(100)))
+        assert sp is NULL_SPAN
+        with sp as inner:
+            inner.set(x=1)  # all no-ops
+        sp.close()
+
+    def test_helpers_are_noops(self):
+        obs.add("counter", 5)
+        obs.observe("hist", 1.0)
+        obs.set_gauge("gauge", 2.0)
+        obs.emit(
+            obs_events.OrderCommitted(
+                order=(0,), arrival_makespan_ms=1.0,
+                chosen_makespan_ms=1.0, mitigated=False,
+            )
+        )
+        rec = obs.get_recorder()
+        assert rec.metrics.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+    def test_use_recorder_restores_previous(self):
+        before = obs.get_recorder()
+        with obs.use_recorder(obs.InMemoryRecorder()):
+            assert obs.enabled()
+        assert obs.get_recorder() is before
+        assert not obs.enabled()
+
+
+# ---------------------------------------------------------------- metrics
+
+
+class TestMetrics:
+    def test_counter_accumulates_and_rejects_negative(self):
+        reg = MetricsRegistry()
+        reg.counter("cells").add(3)
+        reg.counter("cells").add()
+        assert reg.snapshot()["counters"] == {"cells": 4.0}
+        with pytest.raises(ValueError):
+            reg.counter("cells").add(-1)
+
+    def test_gauge_keeps_last_value(self):
+        reg = MetricsRegistry()
+        reg.gauge("makespan").set(10.0)
+        reg.gauge("makespan").set(7.5)
+        assert reg.snapshot()["gauges"] == {"makespan": 7.5}
+
+    def test_histogram_buckets_and_stats(self):
+        h = Histogram("lat", buckets=(1.0, 10.0))
+        for v in (0.5, 0.7, 5.0, 50.0):
+            h.observe(v)
+        d = h.to_dict()
+        assert d["count"] == 4
+        assert d["mean"] == pytest.approx(14.05)
+        assert d["min"] == 0.5 and d["max"] == 50.0
+        assert d["buckets"] == {"le_1": 2, "le_10": 1, "inf": 1}
+
+    def test_histogram_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("x", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("x", buckets=(1.0, 1.0))
+
+    def test_render_json_parses(self):
+        reg = MetricsRegistry()
+        reg.counter("a").add(2)
+        reg.histogram("h").observe(1.0)
+        doc = json.loads(reg.render_json())
+        assert doc["counters"] == {"a": 2.0}
+        assert doc["histograms"]["h"]["count"] == 1
+
+    def test_render_text_lists_every_metric(self):
+        reg = MetricsRegistry()
+        reg.counter("steal_moves").add(3)
+        reg.gauge("last_plan_makespan_ms").set(42.0)
+        reg.histogram("intensity").observe(0.3)
+        text = reg.render_text()
+        for token in ("steal_moves", "last_plan_makespan_ms", "intensity"):
+            assert token in text
+        assert MetricsRegistry().render_text() == "(no metrics recorded)"
+
+    def test_fast_path_helpers_feed_registry(self, recorder):
+        obs.add("n", 2)
+        obs.set_gauge("g", 9.0)
+        obs.observe("h", 0.5)
+        snap = recorder.metrics.snapshot()
+        assert snap["counters"] == {"n": 2.0}
+        assert snap["gauges"] == {"g": 9.0}
+        assert snap["histograms"]["h"]["count"] == 1
+
+
+# ----------------------------------------------------- events + buffering
+
+
+class TestEventsAndBuffering:
+    def test_events_record_in_order(self, recorder):
+        a = obs_events.SliceChosen(
+            request=0, model="bert", slices=((0, 3), None),
+            stage_times_ms=(1.0, 0.0), makespan_ms=1.0,
+        )
+        b = obs_events.OrderCommitted(
+            order=(0,), arrival_makespan_ms=1.0,
+            chosen_makespan_ms=1.0, mitigated=False,
+        )
+        obs.emit(a)
+        obs.emit(b)
+        assert recorder.events == [a, b]
+        assert [e.kind for e in recorder.events] == [
+            "slice_chosen", "order_committed",
+        ]
+
+    def test_to_dict_includes_kind(self):
+        e = obs_events.LayerStolen(
+            request=1, from_stage=0, to_stage=1, layer=7,
+            phase="window-steal", gain_ms=0.5,
+        )
+        d = e.to_dict()
+        assert d["kind"] == "layer_stolen"
+        assert d["layer"] == 7
+        assert set(obs_events.EVENT_KINDS) == {
+            "slice_chosen", "request_relocated", "order_committed",
+            "layer_stolen", "placement_changed", "tail_replaced",
+        }
+
+    def test_buffered_events_held_until_commit(self, recorder):
+        stolen = obs_events.LayerStolen(
+            request=0, from_stage=0, to_stage=1, layer=2,
+            phase="window-steal", gain_ms=1.0,
+        )
+        with recorder.buffered() as winner:
+            obs.emit(stolen)
+        assert recorder.events == []  # not committed yet
+        assert winner == [stolen]
+        recorder.commit(winner)
+        assert recorder.events == [stolen]
+
+    def test_losing_buffer_never_reaches_the_log(self, recorder):
+        with recorder.buffered():
+            obs.emit(
+                obs_events.LayerStolen(
+                    request=9, from_stage=0, to_stage=1, layer=1,
+                    phase="window-steal", gain_ms=0.1,
+                )
+            )
+        assert recorder.events == []
+
+    def test_buffers_nest(self, recorder):
+        outer_event = obs_events.OrderCommitted(
+            order=(0,), arrival_makespan_ms=1.0,
+            chosen_makespan_ms=1.0, mitigated=False,
+        )
+        with recorder.buffered() as outer:
+            with recorder.buffered() as inner:
+                obs.emit(outer_event)
+            assert inner == [outer_event] and outer == []
+
+    def test_metrics_bypass_buffering(self, recorder):
+        with recorder.buffered():
+            obs.add("work_done")
+        assert recorder.metrics.snapshot()["counters"] == {"work_done": 1.0}
+
+    def test_reset_clears_everything(self, recorder):
+        with obs.span("s"):
+            obs.add("c")
+        obs.emit(
+            obs_events.OrderCommitted(
+                order=(0,), arrival_makespan_ms=0.0,
+                chosen_makespan_ms=0.0, mitigated=False,
+            )
+        )
+        recorder.reset()
+        assert recorder.spans == [] and recorder.events == []
+        assert recorder.metrics.snapshot()["counters"] == {}
+
+    def test_threads_build_independent_trees(self, recorder):
+        def worker():
+            with obs.span("worker-root"):
+                with obs.span("worker-child"):
+                    pass
+
+        with obs.span("main-root"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        names = sorted(s.name for s in recorder.spans)
+        assert names == ["main-root", "worker-root"]
+        worker_root = next(
+            s for s in recorder.spans if s.name == "worker-root"
+        )
+        assert [c.name for c in worker_root.children] == ["worker-child"]
+
+
+# ----------------------------------------------------------- export leafs
+
+
+class TestExportBuilders:
+    def test_span_trace_events_normalize_to_zero(self, fake_clock):
+        root = Span("plan")
+        fake_clock.tick(0.001)
+        child = Span("plan.partition")
+        fake_clock.tick(0.002)
+        child.close()
+        root.children.append(child)
+        root.close()
+        events = obs_export.span_trace_events([root])
+        assert [e["name"] for e in events] == ["plan", "plan.partition"]
+        assert events[0]["ts"] == pytest.approx(0.0)
+        assert events[1]["ts"] == pytest.approx(1000.0)
+        assert events[1]["dur"] == pytest.approx(2000.0)
+        assert all(e["ph"] == "X" for e in events)
+
+    def test_metric_counter_events(self):
+        reg = MetricsRegistry()
+        reg.counter("steal_moves").add(4)
+        reg.gauge("makespan").set(10.0)
+        events = obs_export.metric_counter_events(reg, ts_us=5.0)
+        by_name = {e["name"]: e for e in events}
+        assert by_name["steal_moves"]["args"] == {"value": 4.0}
+        assert by_name["makespan"]["ph"] == "C"
+        assert all(e["ts"] == 5.0 for e in events)
+
+    def test_flow_pair_shape(self):
+        s, f = obs_export.flow_pair(
+            "layer_stolen", 3,
+            {"pid": 0, "tid": 1, "ts": 10.0},
+            {"pid": 0, "tid": 2, "ts": 20.0},
+        )
+        assert s["ph"] == "s" and f["ph"] == "f"
+        assert f["bp"] == "e"
+        assert s["id"] == f["id"] == 3
+        assert s["ts"] < f["ts"]

@@ -21,7 +21,7 @@ import sys
 import time
 
 from repro import obs
-from repro.core.planner import Hetero2PipePlanner
+from repro.core.planner import Hetero2PipePlanner, PlannerConfig
 from repro.hardware.soc import get_soc
 from repro.models.zoo import get_model
 
@@ -45,7 +45,11 @@ def _best_of(rounds, fn):
 def measure():
     soc = get_soc(SOC)
     models = [get_model(name) for name in MODEL_MIX]
-    planner = Hetero2PipePlanner(soc)
+    # Caches off: with the plan/objective caches warm every round would
+    # be a near-free lookup and the guard would time noise instead of
+    # instrumented planning work (benchmarks/cache_guard.py covers the
+    # cached path).
+    planner = Hetero2PipePlanner(soc, PlannerConfig.uncached())
 
     def plan_disabled():
         planner.plan(models)

@@ -18,7 +18,9 @@ Subcommands:
   trace: planner spans, executor slices, counter tracks and
   steal/relocate flow arrows (see ``docs/OBSERVABILITY.md``).
 * ``stats --soc X --models a,b`` — plan with the recorder on and print
-  the metrics registry plus the decision-provenance explanation.
+  the metrics registry plus the decision-provenance explanation;
+  ``--repeat N`` re-plans the same mix to show the planner's cache
+  counters (``plan_cache_hits``, ``objective_cache_hits``, ...) warm up.
 * ``lint [paths] [--json] [--plans]`` — run the static-analysis
   subsystem (AST rules, import layering, plan invariants); see
   ``docs/STATIC_ANALYSIS.md``.
@@ -222,9 +224,11 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     if not models:
         print("no models given", file=sys.stderr)
         return 2
+    repeat = max(1, args.repeat)
     with obs.use_recorder(obs.InMemoryRecorder()) as rec:
         planner = Hetero2PipePlanner(soc)
-        report = planner.plan(models)
+        for _ in range(repeat):
+            report = planner.plan(models)
         execute_plan(report.plan)
     if args.json:
         print(rec.metrics.render_json())
@@ -336,6 +340,14 @@ def build_parser() -> argparse.ArgumentParser:
     stats_parser.add_argument("--models", required=True)
     stats_parser.add_argument(
         "--json", action="store_true", help="emit the metrics registry as JSON"
+    )
+    stats_parser.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        metavar="N",
+        help="plan the mix N times (N>1 shows the plan/objective cache "
+        "counters warming up; see docs/PERFORMANCE.md)",
     )
 
     lint_parser = sub.add_parser(

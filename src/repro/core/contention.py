@@ -16,7 +16,7 @@ High-contention (the paper's H/L split feeding Algorithm 2).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -113,14 +113,29 @@ class ContentionEstimator:
         models: Sequence[ModelGraph],
         alpha: float = 1.0,
         threshold_percentile: float = DEFAULT_THRESHOLD_PERCENTILE,
+        profiler: Optional[SocProfiler] = None,
     ) -> "ContentionEstimator":
         """Fit from solo profiles of a model zoo on one SoC.
 
         The training target is the ground-truth bus-demand intensity of
         each model's solo run on the Big CPU (the processor whose PMU
         the paper reads); the features are the synthesized counters.
+
+        Args:
+            profiler: Profile cache to measure through; pass the
+                planner's own :class:`SocProfiler` so the zoo profiles
+                are built once and shared (it must be bound to ``soc``).
+
+        Raises:
+            ValueError: when ``profiler`` is bound to a different SoC.
         """
-        profiler = SocProfiler(soc)
+        if profiler is None:
+            profiler = SocProfiler(soc)
+        elif profiler.soc is not soc:
+            raise ValueError(
+                f"profiler is bound to {profiler.soc.name!r}, "
+                f"cannot fit estimator for {soc.name!r}"
+            )
         cpu = soc.cpu_big
         counters: List[PerfCounters] = []
         targets: List[float] = []

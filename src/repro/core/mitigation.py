@@ -69,19 +69,34 @@ def _labels_of(order: Sequence[int], base_labels: Sequence[bool]) -> List[bool]:
 
 
 def _creates_new_source_conflict(
-    order: Sequence[int],
-    base_labels: Sequence[bool],
+    labels: List[bool],
+    before_pairs: Sequence[Tuple[int, int]],
     remove_pos: int,
     k: int,
 ) -> bool:
     """Whether removing the Low request at ``remove_pos`` brings two High
-    requests into conflict that were previously separated."""
-    labels = _labels_of(order, base_labels)
-    before = set(conflicting_high_pairs(labels, k))
+    requests into conflict that were previously separated.
+
+    Depends only on the current label sequence and the removal position
+    — not on the relocation slot — so callers evaluate it once per Low
+    position, not once per cost-matrix column.
+
+    The comparison is by *pair set*, not conflict count: removing one
+    element shifts every position after it down by one, so the
+    pre-removal pairs are re-indexed into post-removal coordinates
+    first, and any post-removal conflict outside that adjusted set is a
+    newly created one.  A count comparison would miss a removal that
+    swaps one conflict for a different one at equal count, and a naive
+    (unadjusted) set comparison would flag every surviving conflict past
+    ``remove_pos`` as new.
+    """
     trial = labels[:remove_pos] + labels[remove_pos + 1 :]
-    after = conflicting_high_pairs(trial, k)
-    # Removing one element shifts indices; compare by count of conflicts.
-    return len(after) > len(before)
+    after = set(conflicting_high_pairs(trial, k))
+    adjusted_before = {
+        (u - (1 if u > remove_pos else 0), v - (1 if v > remove_pos else 0))
+        for (u, v) in before_pairs
+    }
+    return bool(after - adjusted_before)
 
 
 def mitigate_sequence(
@@ -107,104 +122,124 @@ def mitigate_sequence(
         raise ValueError("pipeline depth K must be >= 1")
 
     n = len(labels)
-    span = obs.span("plan.mitigate", requests=n, depth=k)
-    if obs.enabled():
-        obs.add("windows_with_2H", len(violating_windows(labels, k)))
+    # Context-managed so the span closes even when kuhn_munkres or a
+    # window helper raises mid-loop (a manually closed span would leak
+    # open and corrupt the recorder's span stack).
+    with obs.span("plan.mitigate", requests=n, depth=k) as span:
+        if obs.enabled():
+            obs.add("windows_with_2H", len(violating_windows(labels, k)))
 
-    order: List[int] = list(range(n))
-    moves: List[Move] = []
-    rounds = max_rounds if max_rounds is not None else n
+        order: List[int] = list(range(n))
+        moves: List[Move] = []
+        rounds = max_rounds if max_rounds is not None else n
 
-    for _ in range(rounds):
-        current = _labels_of(order, labels)
-        pairs = conflicting_high_pairs(current, k)
-        if not pairs:
-            break
+        for _ in range(rounds):
+            current = _labels_of(order, labels)
+            pairs = conflicting_high_pairs(current, k)
+            if not pairs:
+                break
 
-        # Build relocation slots: one column per missing Low interleave.
-        slots: List[Tuple[int, int]] = []  # (u_pos, v_pos) per needed L
-        for pair in pairs:
-            slots.extend([pair] * deficit(pair, k))
-        lows = [pos for pos, is_high in enumerate(current) if not is_high]
-        if not slots or not lows:
-            break
+            # Build relocation slots: one column per missing Low interleave.
+            slots: List[Tuple[int, int]] = []  # (u_pos, v_pos) per needed L
+            for pair in pairs:
+                slots.extend([pair] * deficit(pair, k))
+            lows = [pos for pos, is_high in enumerate(current) if not is_high]
+            if not slots or not lows:
+                break
 
-        # Eq. 10 infeasibilities use a large *finite* sentinel so the LAP
-        # still returns the best partial relocation when there are not
-        # enough eligible Low requests for every slot ("no sufficient L
-        # for selection"); sentinel-cost pairs are discarded afterwards.
-        forbidden = float(4 * n)
-        cost: List[List[float]] = []
-        any_feasible = False
-        for low_pos in lows:
-            row: List[float] = []
-            for (u, v) in slots:
-                # Eq. 10: a Low already inside the pair's contention
-                # neighbourhood cannot increase the separation; and a
-                # move that opens a new conflict at the source is
-                # excluded as well.
-                if u - (k - 1) <= low_pos <= v + (k - 1):
-                    row.append(forbidden)
-                elif _creates_new_source_conflict(order, labels, low_pos, k):
-                    row.append(forbidden)
-                else:
-                    row.append(float(abs(u + 1 - low_pos)))
-                    any_feasible = True
-            cost.append(row)
-        if not any_feasible:
-            break  # no sufficient L for selection
-
-        assignment, _total = kuhn_munkres(cost)
-        obs.add("lap_rounds")
-        assignment = [
-            (i, j) for i, j in assignment if cost[i][j] < forbidden
-        ]
-        obs.add("lap_assignments", len(assignment))
-        if not assignment:
-            break
-
-        # Apply moves by item identity so earlier moves don't invalidate
-        # later positions.  Each move inserts the Low right after u.
-        progressed = False
-        for low_idx, slot_idx in assignment:
-            low_item = order[lows[low_idx]]
-            u_pos, v_pos = slots[slot_idx]
-            u_item = order[u_pos]
-            src = order.index(low_item)
-            # Re-check the move still helps under the mutated order.
-            trial = order[:src] + order[src + 1 :]
-            dst = trial.index(u_item) + 1
-            trial.insert(dst, low_item)
-            before = len(conflicting_high_pairs(_labels_of(order, labels), k))
-            after = len(conflicting_high_pairs(_labels_of(trial, labels), k))
-            before_deficit = sum(
-                deficit(p, k)
-                for p in conflicting_high_pairs(_labels_of(order, labels), k)
-            )
-            after_deficit = sum(
-                deficit(p, k)
-                for p in conflicting_high_pairs(_labels_of(trial, labels), k)
-            )
-            if after < before or after_deficit < before_deficit:
-                order = trial
-                moves.append(
-                    Move(item=low_item, source_position=src, target_position=dst)
+            # The source-conflict test depends only on the Low position,
+            # never on the slot column: evaluate it once per Low here
+            # instead of O(lows x slots) times inside the matrix loop.
+            opens_source_conflict = {
+                low_pos: _creates_new_source_conflict(
+                    current, pairs, low_pos, k
                 )
-                progressed = True
-        if not progressed:
-            break
+                for low_pos in lows
+            }
 
-    final_labels = _labels_of(order, labels)
-    result = MitigationResult(
-        order=tuple(order),
-        moves=tuple(moves),
-        mitigated=is_mitigated(final_labels, k),
-        total_cost=sum(m.cost for m in moves),
-    )
-    span.set(
-        moves=len(result.moves),
-        mitigated=result.mitigated,
-        total_cost=result.total_cost,
-    )
-    span.close()
+            # Eq. 10 infeasibilities use a large *finite* sentinel so the LAP
+            # still returns the best partial relocation when there are not
+            # enough eligible Low requests for every slot ("no sufficient L
+            # for selection"); sentinel-cost pairs are discarded afterwards.
+            forbidden = float(4 * n)
+            cost: List[List[float]] = []
+            any_feasible = False
+            for low_pos in lows:
+                row: List[float] = []
+                for (u, v) in slots:
+                    # Eq. 10: a Low already inside the pair's contention
+                    # neighbourhood cannot increase the separation; and a
+                    # move that opens a new conflict at the source is
+                    # excluded as well.
+                    if u - (k - 1) <= low_pos <= v + (k - 1):
+                        row.append(forbidden)
+                    elif opens_source_conflict[low_pos]:
+                        row.append(forbidden)
+                    else:
+                        row.append(float(abs(u + 1 - low_pos)))
+                        any_feasible = True
+                cost.append(row)
+            if not any_feasible:
+                break  # no sufficient L for selection
+
+            assignment, _total = kuhn_munkres(cost)
+            obs.add("lap_rounds")
+            assignment = [
+                (i, j) for i, j in assignment if cost[i][j] < forbidden
+            ]
+            obs.add("lap_assignments", len(assignment))
+            if not assignment:
+                break
+
+            # Apply moves by item identity so earlier moves don't invalidate
+            # later positions.  Each move inserts the Low right after u.
+            progressed = False
+            for low_idx, slot_idx in assignment:
+                low_item = order[lows[low_idx]]
+                u_pos, v_pos = slots[slot_idx]
+                u_item = order[u_pos]
+                src = order.index(low_item)
+                # Re-check the move still helps under the mutated order.
+                trial = order[:src] + order[src + 1 :]
+                dst = trial.index(u_item) + 1
+                trial.insert(dst, low_item)
+                before = len(
+                    conflicting_high_pairs(_labels_of(order, labels), k)
+                )
+                after = len(
+                    conflicting_high_pairs(_labels_of(trial, labels), k)
+                )
+                before_deficit = sum(
+                    deficit(p, k)
+                    for p in conflicting_high_pairs(_labels_of(order, labels), k)
+                )
+                after_deficit = sum(
+                    deficit(p, k)
+                    for p in conflicting_high_pairs(_labels_of(trial, labels), k)
+                )
+                if after < before or after_deficit < before_deficit:
+                    order = trial
+                    moves.append(
+                        Move(
+                            item=low_item,
+                            source_position=src,
+                            target_position=dst,
+                        )
+                    )
+                    progressed = True
+            if not progressed:
+                break
+
+        final_labels = _labels_of(order, labels)
+        result = MitigationResult(
+            order=tuple(order),
+            moves=tuple(moves),
+            mitigated=is_mitigated(final_labels, k),
+            total_cost=sum(m.cost for m in moves),
+        )
+        span.set(
+            moves=len(result.moves),
+            mitigated=result.mitigated,
+            total_cost=result.total_cost,
+        )
     return result

@@ -239,15 +239,15 @@ def partition_model(
     """
     if not processors:
         raise ValueError("need at least one processor")
-    cost = make_slice_cost(profile, processors)
+    base_cost = make_slice_cost(profile, processors)
+    cost = base_cost
     cells = 0
     if obs.enabled():
-        inner = cost
 
         def counting_cost(stage: int, start: int, end: int) -> float:
             nonlocal cells
             cells += 1
-            return inner(stage, start, end)
+            return base_cost(stage, start, end)
 
         cost = counting_cost
     with obs.span(
@@ -259,8 +259,11 @@ def partition_model(
     ) as span:
         solver = min_makespan_partition_fast if fast else min_makespan_partition
         makespan, slices = solver(profile.model.num_layers, len(processors), cost)
+        # Stage times are reporting, not DP work: price them through the
+        # raw cost so ``dp_cells_evaluated`` counts only solver-issued
+        # slice evaluations.
         stage_times = tuple(
-            0.0 if s is None else cost(k, s[0], s[1])
+            0.0 if s is None else base_cost(k, s[0], s[1])
             for k, s in enumerate(slices)
         )
         if cells:

@@ -19,7 +19,7 @@ baseline disables mitigation and tail optimization).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
 from ..hardware.soc import SocSpec
@@ -29,9 +29,13 @@ from ..profiling.profiler import ModelProfile, SocProfiler
 from ..runtime.schedule import async_makespan_ms
 from .contention import ContentionEstimator, ContentionScore
 from .mitigation import MitigationResult, mitigate_sequence
+from .objective import LRUCache, ObjectiveCache
 from .partition import PartitionResult, partition_model
 from .plan import PipelinePlan, StageAssignment
 from .stealing import optimize_tail, vertical_alignment
+
+#: Default bound on memoized whole-plan reports (requests mixes).
+DEFAULT_PLAN_CACHE_SIZE = 64
 
 
 @dataclass(frozen=True)
@@ -45,6 +49,15 @@ class PlannerConfig:
         threshold_percentile: H/L split percentile for the estimator.
         fast_dp: Use the monotonicity-accelerated DP (copy-free costs
             only); the exact DP is the default.
+        enable_objective_cache: Memoize the vertical phase's objective
+            probes (``async_makespan_ms``) under the plan fingerprint,
+            so re-probed configurations skip the re-simulation.  Pure
+            memoization of a deterministic function: the emitted plan
+            is byte-identical either way.
+        enable_plan_cache: Keep a bounded LRU of finished
+            :class:`PlanReport` objects keyed by the request mix, so
+            online re-planning of a recurring mix is a lookup.
+        plan_cache_size: LRU bound for the plan cache.
     """
 
     enable_mitigation: bool = True
@@ -52,11 +65,20 @@ class PlannerConfig:
     enable_tail_optimization: bool = True
     threshold_percentile: float = 60.0
     fast_dp: bool = False
+    enable_objective_cache: bool = True
+    enable_plan_cache: bool = True
+    plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE
 
     @classmethod
     def no_contention_or_tail(cls) -> "PlannerConfig":
         """The paper's "Hetero2Pipe (No C/T)" ablation."""
         return cls(enable_mitigation=False, enable_tail_optimization=False)
+
+    @classmethod
+    def uncached(cls) -> "PlannerConfig":
+        """Everything enabled but every cache off — the planner always
+        re-simulates and re-plans from scratch (benchmark baseline)."""
+        return cls(enable_objective_cache=False, enable_plan_cache=False)
 
 
 @dataclass
@@ -70,16 +92,42 @@ class PlanReport:
     stealing_moves: int
     tail_changed: bool
 
+    def clone(self) -> "PlanReport":
+        """An isolated copy: the mutable plan is deep-copied, the frozen
+        diagnostics (partitions, scores, mitigation) are shared."""
+        return PlanReport(
+            plan=self.plan.copy(),
+            partitions=list(self.partitions),
+            scores=list(self.scores),
+            mitigation=self.mitigation,
+            stealing_moves=self.stealing_moves,
+            tail_changed=self.tail_changed,
+        )
+
+
+#: Plan-cache key: (soc, per-request (model name, layer count), config).
+PlanCacheKey = Tuple[str, Tuple[Tuple[str, int], ...], PlannerConfig]
+
 
 class Hetero2PipePlanner:
     """Plans multi-DNN pipelines on one SoC.
+
+    The planner owns three memoization layers (see docs/PERFORMANCE.md):
+    the profiler's per-model profile cache (shared with the estimator's
+    zoo fit), a per-``(model, fast_dp)`` horizontal-partition cache, and
+    an :class:`~repro.core.objective.ObjectiveCache` that deduplicates
+    the vertical phase's re-simulations.  A bounded LRU of whole
+    :class:`PlanReport` objects sits in front of :meth:`plan` for
+    recurring request mixes.  All caches are scoped to this instance —
+    building a planner for a new/modified :class:`SocSpec` starts cold.
 
     Args:
         soc: Target platform.
         config: Feature switches; defaults to everything enabled.
         estimator: Contention estimator; by default one is fitted on the
             ten-model zoo profiled on this SoC (the paper's offline
-            regression step).
+            regression step), reusing this planner's profiler so the zoo
+            profiles are measured once.
     """
 
     def __init__(
@@ -95,7 +143,38 @@ class Hetero2PipePlanner:
             soc,
             all_models(),
             threshold_percentile=self.config.threshold_percentile,
+            profiler=self.profiler,
         )
+        self._partition_cache: Dict[Tuple[str, bool], PartitionResult] = {}
+        self.objective: Callable[[PipelinePlan], float] = (
+            ObjectiveCache() if self.config.enable_objective_cache
+            else async_makespan_ms
+        )
+        self._plan_cache: Optional[LRUCache[PlanCacheKey, PlanReport]] = (
+            LRUCache(self.config.plan_cache_size)
+            if self.config.enable_plan_cache
+            else None
+        )
+
+    def _partition(self, profile: ModelProfile) -> PartitionResult:
+        """Horizontal DP for one request, memoized per (model, fast_dp).
+
+        Sound because profiles come from this planner's profiler (one
+        immutable profile per model name) and ``partition_model`` is a
+        deterministic function of (profile, processors, fast); results
+        are frozen and safely shared across plans.
+        """
+        key = (profile.model.name, self.config.fast_dp)
+        cached = self._partition_cache.get(key)
+        if cached is not None:
+            obs.add("partition_cache_hits")
+            return cached
+        obs.add("partition_cache_misses")
+        result = partition_model(
+            profile, self.soc.processors, fast=self.config.fast_dp
+        )
+        self._partition_cache[key] = result
+        return result
 
     def plan(self, models: Sequence[ModelGraph]) -> PlanReport:
         """Produce a pipeline plan for a request sequence.
@@ -113,6 +192,18 @@ class Hetero2PipePlanner:
         """
         if not models:
             raise ValueError("request sequence must be non-empty")
+        cache_key: Optional[PlanCacheKey] = None
+        if self._plan_cache is not None:
+            cache_key = (
+                self.soc.name,
+                tuple((m.name, m.num_layers) for m in models),
+                self.config,
+            )
+            cached = self._plan_cache.get(cache_key)
+            if cached is not None:
+                obs.add("plan_cache_hits")
+                return cached.clone()
+            obs.add("plan_cache_misses")
         rec = obs.get_recorder()
         processors = self.soc.processors
         with obs.span(
@@ -121,10 +212,7 @@ class Hetero2PipePlanner:
             profiles = [self.profiler.profile(m) for m in models]
 
             # Step 1 — horizontal DP per request (P1).
-            partitions = [
-                partition_model(p, processors, fast=self.config.fast_dp)
-                for p in profiles
-            ]
+            partitions = [self._partition(p) for p in profiles]
             if rec.enabled:
                 for i, part in enumerate(partitions):
                     obs.emit(
@@ -187,10 +275,13 @@ class Hetero2PipePlanner:
                             enable_tail_optimization=(
                                 self.config.enable_tail_optimization
                             ),
+                            objective=self.objective,
                         )
                     elif self.config.enable_tail_optimization:
-                        tail_changed = optimize_tail(plan)
-                    cost = async_makespan_ms(plan)
+                        tail_changed = optimize_tail(
+                            plan, objective=self.objective
+                        )
+                    cost = self.objective(plan)
                     sp.set(makespan_ms=cost, moves=moves)
                 costs.append(cost)
                 buffers.append(buffer)
@@ -223,7 +314,7 @@ class Hetero2PipePlanner:
                 obs.set_gauge("last_plan_makespan_ms", cost)
             root.set(makespan_ms=cost, mitigated=mitigated)
             plan.validate()
-        return PlanReport(
+        report = PlanReport(
             plan=plan,
             partitions=partitions,
             scores=scores,
@@ -231,3 +322,7 @@ class Hetero2PipePlanner:
             stealing_moves=moves,
             tail_changed=tail_changed,
         )
+        if self._plan_cache is not None and cache_key is not None:
+            # Snapshot before handing out: callers may mutate the plan.
+            self._plan_cache.put(cache_key, report.clone())
+        return report

@@ -27,12 +27,18 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from .. import obs
 from ..hardware.processor import ProcessorSpec
 from ..runtime.schedule import async_makespan_ms, plan_bubbles_ms, plan_makespan_ms
 from .plan import PipelinePlan, StageAssignment
+
+#: A plan-level objective the descents probe: smaller is better.  The
+#: planner passes a memoizing :class:`~repro.core.objective.ObjectiveCache`
+#: here so repeated probes of identical configurations skip the
+#: event-driven re-simulation.
+PlanObjective = Callable[[PipelinePlan], float]
 
 #: Stop greedy alignment when the objective improves less than this (ms).
 _EPSILON_MS = 1e-9
@@ -228,7 +234,11 @@ def work_steal(plan: PipelinePlan) -> int:
     return moves
 
 
-def refine_globally(plan: PipelinePlan, max_moves: int = 128) -> int:
+def refine_globally(
+    plan: PipelinePlan,
+    max_moves: int = 128,
+    objective: PlanObjective = async_makespan_ms,
+) -> int:
     """Greedy boundary-move descent on the true P2 objective.
 
     Window-local stealing uses the critical path as a proxy; this pass
@@ -242,7 +252,7 @@ def refine_globally(plan: PipelinePlan, max_moves: int = 128) -> int:
     """
     moves = 0
     with obs.span("plan.refine_global", requests=plan.num_requests) as sp:
-        current = async_makespan_ms(plan)
+        current = objective(plan)
         while moves < max_moves:
             best_gain = _EPSILON_MS
             best: Optional[Tuple[int, int, int]] = None
@@ -254,7 +264,7 @@ def refine_globally(plan: PipelinePlan, max_moves: int = 128) -> int:
                             assignment, frm, to, plan.processors
                         ):
                             continue
-                        value = async_makespan_ms(plan)
+                        value = objective(plan)
                         assignment.slices = saved
                         gain = current - value
                         if gain > best_gain:
@@ -285,7 +295,11 @@ def refine_globally(plan: PipelinePlan, max_moves: int = 128) -> int:
     return moves
 
 
-def refine_placements(plan: PipelinePlan, max_sweeps: int = 4) -> int:
+def refine_placements(
+    plan: PipelinePlan,
+    max_sweeps: int = 4,
+    objective: PlanObjective = async_makespan_ms,
+) -> int:
     """Per-request placement local search on the async makespan.
 
     For every request, in reverse order, try each single-processor
@@ -301,7 +315,7 @@ def refine_placements(plan: PipelinePlan, max_sweeps: int = 4) -> int:
     """
     changes = 0
     with obs.span("plan.placements", requests=plan.num_requests) as sp:
-        current = async_makespan_ms(plan)
+        current = objective(plan)
         for _ in range(max_sweeps):
             changed = False
             for i in range(plan.num_requests - 1, -1, -1):
@@ -315,7 +329,7 @@ def refine_placements(plan: PipelinePlan, max_sweeps: int = 4) -> int:
                     if candidate is None or candidate.slices == original.slices:
                         continue
                     plan.assignments[i] = candidate
-                    cost = async_makespan_ms(plan)
+                    cost = objective(plan)
                     if cost < best_cost - _EPSILON_MS:
                         best_cost = cost
                         best_assignment = candidate
@@ -356,7 +370,9 @@ def single_processor_assignment(
     return StageAssignment(profile=assignment.profile, slices=slices)
 
 
-def optimize_tail(plan: PipelinePlan) -> bool:
+def optimize_tail(
+    plan: PipelinePlan, objective: PlanObjective = async_makespan_ms
+) -> bool:
     """Phase 2: exhaustive tail re-allocation of the final request.
 
     Tries each of the K single-processor placements for the last request
@@ -371,14 +387,14 @@ def optimize_tail(plan: PipelinePlan) -> bool:
     last = plan.num_requests - 1
     current = plan.assignments[last]
     best_assignment = current
-    before_cost = async_makespan_ms(plan)
+    before_cost = objective(plan)
     best_cost = before_cost
     for stage in range(plan.depth):
         candidate = single_processor_assignment(current, stage, plan.processors)
         if candidate is None:
             continue
         plan.assignments[last] = candidate
-        cost = async_makespan_ms(plan)
+        cost = objective(plan)
         if cost < best_cost - _EPSILON_MS:
             best_cost = cost
             best_assignment = candidate
@@ -401,7 +417,9 @@ def optimize_tail(plan: PipelinePlan) -> bool:
 
 
 def vertical_alignment(
-    plan: PipelinePlan, enable_tail_optimization: bool = True
+    plan: PipelinePlan,
+    enable_tail_optimization: bool = True,
+    objective: PlanObjective = async_makespan_ms,
 ) -> Tuple[int, bool]:
     """Run Algorithm 3 in place.
 
@@ -412,6 +430,11 @@ def vertical_alignment(
     tail re-allocation — the "re-allocating workloads by local search"
     step whose search space is only K per request.
 
+    Args:
+        objective: Plan-level cost oracle for every probe; the planner
+            passes its :class:`~repro.core.objective.ObjectiveCache` so
+            repeated probes of identical configurations are free.
+
     Returns:
         ``(total_moves, tail_changed)`` where ``total_moves`` counts
         boundary moves plus placement changes.
@@ -420,11 +443,11 @@ def vertical_alignment(
         "plan.vertical", tail_optimization=enable_tail_optimization
     ) as sp:
         moves = work_steal(plan)
-        moves += refine_globally(plan)
+        moves += refine_globally(plan, objective=objective)
         tail_changed = False
         if enable_tail_optimization:
-            moves += refine_placements(plan)
-            moves += refine_globally(plan)
-            tail_changed = optimize_tail(plan)
+            moves += refine_placements(plan, objective=objective)
+            moves += refine_globally(plan, objective=objective)
+            tail_changed = optimize_tail(plan, objective=objective)
         sp.set(moves=moves, tail_changed=tail_changed)
     return moves, tail_changed

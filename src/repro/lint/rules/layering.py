@@ -19,7 +19,7 @@ built on top of it — the exact coupling bug this repo shipped with
 ``geomean``) and the one Band-style schedulers repeatedly hit between
 coordinator and runtime layers.
 
-Three documented module-level refinements (see docs/STATIC_ANALYSIS.md):
+Four documented module-level refinements (see docs/STATIC_ANALYSIS.md):
 
 * ``runtime.schedule`` and ``runtime.executor`` rank *below* ``core``:
   they are the pure simulation substrate (Eq. 3 bubbles, Eq. 8 event
@@ -27,7 +27,11 @@ Three documented module-level refinements (see docs/STATIC_ANALYSIS.md):
   of ``runtime`` consumes finished plans;
 * ``runtime.queueing`` ranks *above* ``baselines``: it is the serving
   harness that drives the planner and the MNN-serial baseline to
-  reproduce Fig. 2(a).
+  reproduce Fig. 2(a);
+* ``core.objective`` ranks *between* the substrate and the rest of
+  ``core``: the memoization layer wraps the cost oracle
+  (``runtime.schedule``) and must never grow an edge onto the planner
+  policies built on top of it.
 
 Scope: only **module-level** ``import``/``from`` statements are edges —
 imports inside functions or ``if TYPE_CHECKING:`` blocks are the
@@ -67,6 +71,10 @@ MODULE_OVERRIDES: Dict[str, int] = {
     f"{ROOT_PACKAGE}.runtime.schedule": 36,
     f"{ROOT_PACKAGE}.runtime.executor": 36,
     f"{ROOT_PACKAGE}.runtime.queueing": 65,
+    # The objective-memoization leaf sits directly above the simulation
+    # substrate it wraps (runtime.schedule, rank 36) and below the rest
+    # of ``core``: it may import the cost oracle, never the planner.
+    f"{ROOT_PACKAGE}.core.objective": 38,
 }
 
 

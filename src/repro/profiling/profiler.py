@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from .. import obs
 from ..hardware.processor import ProcessorSpec
 from ..hardware.soc import SocSpec
 from ..hardware.thermal import sustained_frequency_scale
@@ -223,7 +224,15 @@ class ModelProfile:
 
 
 class SocProfiler:
-    """Caches :class:`ModelProfile` objects for one SoC."""
+    """Memoizes :class:`ModelProfile` objects per ``(soc, model)``.
+
+    The SoC dimension is the instance itself (each profiler is bound to
+    one :class:`SocSpec`); the model dimension is the model *name*, the
+    identity convention used throughout the planner's caches.  Share one
+    profiler across the planner and its estimator so the zoo profiles
+    behind the Eq. 1 fit are measured once — and never share a profiler
+    across SoCs or thermal configurations (see docs/PERFORMANCE.md).
+    """
 
     def __init__(
         self,
@@ -237,15 +246,20 @@ class SocProfiler:
         self._cache: Dict[str, ModelProfile] = {}
 
     def profile(self, model: ModelGraph) -> ModelProfile:
-        """Profile a model (cached by model name)."""
-        if model.name not in self._cache:
-            self._cache[model.name] = ModelProfile(
-                model,
-                self.soc,
-                thermal_steady_state=self._thermal,
-                thermal_scales=self._scales,
-            )
-        return self._cache[model.name]
+        """Profile a model (memoized by model name)."""
+        cached = self._cache.get(model.name)
+        if cached is not None:
+            obs.add("profile_cache_hits")
+            return cached
+        obs.add("profile_cache_misses")
+        profile = ModelProfile(
+            model,
+            self.soc,
+            thermal_steady_state=self._thermal,
+            thermal_scales=self._scales,
+        )
+        self._cache[model.name] = profile
+        return profile
 
     def __call__(self, model: ModelGraph) -> ModelProfile:
         return self.profile(model)

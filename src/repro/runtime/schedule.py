@@ -161,6 +161,12 @@ def async_makespan_ms(plan: "PipelinePlan", with_contention: bool = True) -> flo
     reports — computed without the memory-capacity gate so that search
     intermediates never trip Constraint 6 (the final plan is always
     re-validated with enforcement on).
+
+    Each call is a full silent re-simulation (``objective_evaluations``
+    counts them).  This function is a deterministic pure function of the
+    plan configuration, which is what makes
+    :class:`repro.core.objective.ObjectiveCache` — the planner's
+    memoization layer in front of it — exact rather than approximate.
     """
     from .executor import execute_plan  # local import: avoid cycle
 

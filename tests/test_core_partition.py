@@ -195,3 +195,92 @@ class TestPartitionModel:
         with_copy = make_slice_cost(profile, kirin.processors, include_copy=True)
         without = make_slice_cost(profile, kirin.processors, include_copy=False)
         assert with_copy(0, 0, 5) >= without(0, 0, 5)
+
+
+class TestFastDPWithInfeasibleLayers:
+    """Fast solver exactness when some (stage, layer) pairs are
+    INFEASIBLE — additive costs with per-stage unsupported layers stay
+    monotone (a superset slice still contains the bad layer), so the
+    binary-search DP must stay exact, including the all-infeasible
+    ValueError path."""
+
+    @given(st.integers(1, 9), st.integers(1, 4), st.integers(0, 10_000))
+    @settings(max_examples=150, deadline=None)
+    def test_fast_matches_reference_with_unsupported_layers(
+        self, n, k, seed
+    ):
+        import random
+
+        rng = random.Random(seed)
+        per = [[rng.uniform(0.1, 5.0) for _ in range(n)] for _ in range(k)]
+        # Each stage refuses a random subset of layers (NPU-style).
+        unsupported = [
+            {ly for ly in range(n) if rng.random() < 0.25} for _ in range(k)
+        ]
+        base = additive_cost(per)
+
+        def cost(stage, i, j):
+            if any(ly in unsupported[stage] for ly in range(i, j + 1)):
+                return math.inf
+            return base(stage, i, j)
+
+        try:
+            ref, ref_slices = min_makespan_partition(n, k, cost)
+        except ValueError:
+            with pytest.raises(ValueError):
+                min_makespan_partition_fast(n, k, cost)
+            return
+        fast, fast_slices = min_makespan_partition_fast(n, k, cost)
+        assert fast == pytest.approx(ref)
+        # Fast slices must be feasible and achieve the same makespan.
+        achieved = max(
+            (
+                cost(s, lo, hi)
+                for s, sl in enumerate(fast_slices)
+                if sl
+                for lo, hi in [sl]
+            ),
+            default=0.0,
+        )
+        assert achieved == pytest.approx(ref)
+
+    @pytest.mark.parametrize("name", ["bert", "vit", "resnet50"])
+    def test_fast_matches_exact_on_copyfree_zoo_costs(self, name):
+        # bert carries NPU-unsupported layers on kirin990, so this
+        # exercises the INFEASIBLE path on a real profile.
+        soc = get_soc("kirin990")
+        profile = ModelProfile(get_model(name), soc)
+        cost = make_slice_cost(profile, soc.processors, include_copy=False)
+        n = profile.model.num_layers
+        k = len(soc.processors)
+        ref, _ = min_makespan_partition(n, k, cost)
+        fast, _ = min_makespan_partition_fast(n, k, cost)
+        assert fast == pytest.approx(ref)
+
+
+class TestDpCellAccounting:
+    def test_counter_matches_solver_issued_calls_exactly(self):
+        """``dp_cells_evaluated`` must count only slice costs the DP
+        solver asked for — not the post-solve stage-time recompute (the
+        old code inflated the counter by one per occupied stage)."""
+        from repro import obs
+
+        soc = get_soc("kirin990")
+        profile = ModelProfile(get_model("resnet50"), soc)
+        n = profile.model.num_layers
+        k = len(soc.processors)
+        calls = 0
+        base = make_slice_cost(profile, soc.processors)
+
+        def counting(stage, i, j):
+            nonlocal calls
+            calls += 1
+            return base(stage, i, j)
+
+        min_makespan_partition(n, k, counting)
+        with obs.use_recorder(obs.InMemoryRecorder()) as rec:
+            result = partition_model(profile, soc.processors)
+            counted = rec.metrics.counter("dp_cells_evaluated").value
+        assert counted == calls
+        # The recompute-free counter is still attached to a solved plan.
+        assert len(result.occupied_stages()) >= 1

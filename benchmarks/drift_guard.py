@@ -1,0 +1,117 @@
+"""CI guard: drift detectors must stay silent on clean runs.
+
+The whole drift subsystem rests on one invariant: the planner's
+prediction of a committed plan is the *same* deterministic simulation
+the executor runs, so on an unperturbed run every residual is
+identically zero and no detector may fire.  A false positive here means
+spurious replans in production — cache invalidations, SoC recalibration
+and re-planning triggered by noise.
+
+This guard streams a mixed model zoo over every registered SoC through
+:class:`~repro.core.online.StreamingPlanner` with accuracy tracking on,
+asserts zero drift events / zero replans / sub-microsecond residuals,
+and writes the full residual telemetry to a JSONL artifact so a failing
+run can be inspected offline.  As a sanity check that the detectors are
+*able* to fire (a guard that can never fail guards nothing), one
+perturbed control run with a +30% GPU slowdown must detect drift.
+
+Run directly (exit code 0/1, used by the ``drift-guard`` CI job)::
+
+    PYTHONPATH=src python benchmarks/drift_guard.py [telemetry.jsonl]
+"""
+
+import sys
+from functools import partial
+
+from repro.core.online import StreamingPlanner
+from repro.hardware.soc import get_soc
+from repro.models.zoo import get_model
+from repro.obs import write_telemetry_jsonl
+from repro.runtime.executor import execute_plan_perturbed
+
+SOCS = ("kirin990", "snapdragon778g", "snapdragon870")
+MODEL_MIX = ("resnet50", "yolov4", "bert", "squeezenet")
+REPEAT = 3
+WINDOW_SIZE = 4
+RESIDUAL_TOLERANCE_MS = 1e-6
+CONTROL_PERTURBATION = {"gpu": 1.3}
+DEFAULT_ARTIFACT = "drift-telemetry.jsonl"
+
+
+def _stream():
+    return [get_model(name) for name in MODEL_MIX] * REPEAT
+
+
+def clean_runs():
+    """Clean streams per SoC; returns (failures, all residual reports)."""
+    failures = []
+    reports = []
+    for soc_name in SOCS:
+        planner = StreamingPlanner(
+            get_soc(soc_name), window_size=WINDOW_SIZE, track_accuracy=True
+        )
+        result = planner.run(_stream())
+        reports.extend(result.residuals)
+        worst = max(
+            (r.overall().mean_abs_residual_ms for r in result.residuals),
+            default=0.0,
+        )
+        verdict = "ok"
+        if result.drift_events:
+            verdict = f"{len(result.drift_events)} spurious drift event(s)"
+            failures.append(soc_name)
+        elif result.replans:
+            verdict = f"{result.replans} spurious replan(s)"
+            failures.append(soc_name)
+        elif worst > RESIDUAL_TOLERANCE_MS:
+            verdict = f"residuals up to {worst:.3g} ms on a clean run"
+            failures.append(soc_name)
+        print(
+            f"  {soc_name:15s}: {len(result.residuals)} windows, "
+            f"max mean |residual| {worst:.3g} ms — {verdict}"
+        )
+    return failures, reports
+
+
+def perturbed_control():
+    """The detectors must fire under an injected +30% GPU slowdown."""
+    planner = StreamingPlanner(
+        get_soc(SOCS[0]),
+        window_size=WINDOW_SIZE,
+        track_accuracy=True,
+        execute=partial(
+            execute_plan_perturbed, factors=CONTROL_PERTURBATION
+        ),
+    )
+    result = planner.run(_stream())
+    print(
+        f"  control ({SOCS[0]}, gpu x{CONTROL_PERTURBATION['gpu']}): "
+        f"{len(result.drift_events)} drift event(s), "
+        f"{result.replans} replan(s)"
+    )
+    return bool(result.drift_events) and result.replans >= 1
+
+
+def main(argv):
+    artifact = argv[1] if len(argv) > 1 else DEFAULT_ARTIFACT
+
+    print("clean streams (no detector may fire):")
+    failures, reports = clean_runs()
+    rows = write_telemetry_jsonl(artifact, reports)
+    print(f"  telemetry artifact: {artifact} ({rows} rows)")
+
+    print("perturbed control (detectors must fire):")
+    control_ok = perturbed_control()
+
+    if failures:
+        print(f"FAIL: detector fired on clean run(s): {', '.join(failures)}")
+        return 1
+    if not control_ok:
+        print("FAIL: detectors stayed silent under injected +30% GPU drift")
+        return 1
+    print("OK: detectors silent on clean runs, live under injected drift")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

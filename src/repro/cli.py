@@ -20,10 +20,24 @@ Subcommands:
 * ``stats --soc X --models a,b`` — plan with the recorder on and print
   the metrics registry plus the decision-provenance explanation;
   ``--repeat N`` re-plans the same mix to show the planner's cache
-  counters (``plan_cache_hits``, ``objective_cache_hits``, ...) warm up.
+  counters (``plan_cache_hits``, ``objective_cache_hits``, ...) warm up;
+  ``--json`` emits the stable ``hetero2pipe.stats.v1`` document.
+* ``accuracy --soc X --models a,b`` — close the predict → execute →
+  compare loop for one offline run: join the planner's predicted
+  execution against the actual one and report the residuals
+  (``--perturb``/``--perturb-processor`` inject a synthetic slowdown,
+  ``--json`` emits ``hetero2pipe.accuracy.v1``, ``--jsonl`` writes the
+  telemetry rows, ``--trace`` a Chrome trace with the residual track).
+* ``drift --soc X --models a,b`` — streamed accuracy tracking with the
+  EWMA/CUSUM drift detectors and the replan trigger live; reports every
+  ``DriftDetected`` event and drift-triggered replan (``--json`` emits
+  ``hetero2pipe.drift.v1``; ``--jsonl`` writes telemetry).
 * ``lint [paths] [--json] [--plans]`` — run the static-analysis
   subsystem (AST rules, import layering, plan invariants); see
   ``docs/STATIC_ANALYSIS.md``.
+
+The ``--json`` schemas are documented in docs/OBSERVABILITY.md and kept
+stable for CI/dashboard consumers.
 """
 
 from __future__ import annotations
@@ -207,6 +221,24 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     flows = sum(
         1 for e in rec.events if e.kind in ("layer_stolen", "request_relocated")
     )
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "schema": "hetero2pipe.trace.v1",
+                    "soc": soc.name,
+                    "models": [m.name for m in models],
+                    "out": args.out,
+                    "makespan_ms": result.makespan_ms,
+                    "planner_spans": spans,
+                    "executed_slices": len(result.records),
+                    "provenance_events": len(rec.events),
+                    "flow_arrows": flows,
+                },
+                sort_keys=True,
+            )
+        )
+        return 0
     print(f"planned {len(models)} requests on {soc.name}")
     print(f"makespan: {result.makespan_ms:.1f} ms")
     print(
@@ -229,17 +261,227 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         planner = Hetero2PipePlanner(soc)
         for _ in range(repeat):
             report = planner.plan(models)
-        execute_plan(report.plan)
+        result = execute_plan(report.plan)
+    latency = {
+        "mean_ms": result.mean_latency_ms(),
+        "p50_ms": result.p50_latency_ms,
+        "p95_ms": result.p95_latency_ms,
+        "p99_ms": result.p99_latency_ms,
+    }
     if args.json:
-        print(rec.metrics.render_json())
+        snap = rec.metrics.snapshot()
+        doc = {
+            "schema": "hetero2pipe.stats.v1",
+            "soc": soc.name,
+            "models": [m.name for m in models],
+            "repeat": repeat,
+            "makespan_ms": result.makespan_ms,
+            "throughput_per_s": result.throughput_per_s,
+            "latency": latency,
+            "counters": snap["counters"],
+            "gauges": snap["gauges"],
+            "histograms": snap["histograms"],
+            "provenance_events": len(rec.events),
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True))
         return 0
     print(rec.metrics.render_text())
+    print()
+    print(
+        f"latency: mean {latency['mean_ms']:.1f} ms, "
+        f"p50 {latency['p50_ms']:.1f} ms, p95 {latency['p95_ms']:.1f} ms, "
+        f"p99 {latency['p99_ms']:.1f} ms"
+    )
     print()
     print(
         obs.render_explanation(
             rec.events, processor_names=[p.name for p in soc.processors]
         )
     )
+    return 0
+
+
+def _perturbation_factors(args: argparse.Namespace) -> dict:
+    if args.perturb is None:
+        return {}
+    return {args.perturb_processor: args.perturb}
+
+
+def _fingerprint_digest(fingerprint: object) -> str:
+    import hashlib
+
+    return hashlib.sha1(repr(fingerprint).encode("utf-8")).hexdigest()[:12]
+
+
+def _cmd_accuracy(args: argparse.Namespace) -> int:
+    from .runtime.executor import execute_plan_perturbed
+
+    soc = get_soc(args.soc)
+    models = _parse_models(args.models)
+    if not models:
+        print("no models given", file=sys.stderr)
+        return 2
+    factors = _perturbation_factors(args)
+    with obs.use_recorder(obs.InMemoryRecorder()):
+        planner = Hetero2PipePlanner(soc)
+        report = planner.plan(models)
+        predicted = execute_plan(report.plan, record=False)
+        actual = (
+            execute_plan_perturbed(report.plan, factors)
+            if factors
+            else execute_plan(report.plan)
+        )
+        names = [models[i].name for i in report.plan.order]
+        residual = obs.join_execution(predicted, actual, model_names=names)
+        monitor = obs.DriftMonitor()
+        monitor.observe_report(residual)
+    if args.jsonl:
+        rows = obs.write_telemetry_jsonl(args.jsonl, [residual], monitor.events)
+    if args.trace:
+        from .runtime.tracing import write_chrome_trace
+
+        write_chrome_trace(
+            actual, args.trace, names, residuals=[residual]
+        )
+    overall = residual.overall()
+    if args.json:
+        doc = {
+            "schema": "hetero2pipe.accuracy.v1",
+            "soc": soc.name,
+            "models": [m.name for m in models],
+            "perturbation": factors,
+            "summary": overall.to_dict(),
+            "by_processor": {
+                k: v.to_dict() for k, v in residual.by_processor().items()
+            },
+            "by_model": {
+                k: v.to_dict() for k, v in residual.by_model().items()
+            },
+            "report": residual.to_dict(),
+            "drift_events": [e.to_dict() for e in monitor.events],
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"joined {residual.num_slices} executed slices, "
+        f"{len(residual.requests)} requests on {soc.name}"
+    )
+    print(
+        f"makespan: predicted {residual.predicted_makespan_ms:.1f} ms, "
+        f"actual {residual.actual_makespan_ms:.1f} ms "
+        f"(residual {residual.makespan_residual_ms:+.1f} ms, "
+        f"{residual.makespan_relative_error_frac * 100:+.1f}%)"
+    )
+    print(
+        f"slice residuals: mean {overall.mean_residual_ms:+.2f} ms, "
+        f"mean |err| {overall.mean_abs_residual_ms:.2f} ms, "
+        f"worst {overall.worst_relative_error * 100:+.1f}%"
+    )
+    for name, summary in residual.by_processor().items():
+        print(
+            f"  {name:10s} n={summary.count:3d} "
+            f"mean {summary.mean_residual_ms:+8.2f} ms "
+            f"({summary.mean_relative_error * 100:+6.1f}%)"
+        )
+    if monitor.events:
+        for event in monitor.events:
+            print(
+                f"drift: {event.scope} {event.key!r} via {event.detector} "
+                f"(statistic {event.statistic:.3f} > {event.threshold:.3f})"
+            )
+    else:
+        print("drift: no detector fired")
+    if args.jsonl:
+        print(f"telemetry: {rows} rows written to {args.jsonl}")
+    if args.trace:
+        print(f"chrome trace (with residual track) written to {args.trace}")
+    return 0
+
+
+def _cmd_drift(args: argparse.Namespace) -> int:
+    from functools import partial
+
+    from .runtime.executor import execute_plan_perturbed
+
+    soc = get_soc(args.soc)
+    models = _parse_models(args.models)
+    if not models:
+        print("no models given", file=sys.stderr)
+        return 2
+    stream = models * max(1, args.repeat)
+    factors = _perturbation_factors(args)
+    execute = (
+        partial(execute_plan_perturbed, factors=factors) if factors else None
+    )
+    with obs.use_recorder(obs.InMemoryRecorder()):
+        planner = StreamingPlanner(
+            soc,
+            window_size=args.window,
+            track_accuracy=True,
+            execute=execute,
+        )
+        result = planner.run(stream)
+    digests = [_fingerprint_digest(f) for f in result.plan_fingerprints]
+    if args.jsonl:
+        rows = obs.write_telemetry_jsonl(
+            args.jsonl, result.residuals, result.drift_events
+        )
+    if args.json:
+        doc = {
+            "schema": "hetero2pipe.drift.v1",
+            "soc": soc.name,
+            "models": [m.name for m in models],
+            "repeat": max(1, args.repeat),
+            "window_size": args.window,
+            "perturbation": factors,
+            "windows": len(result.windows),
+            "drift_events": [e.to_dict() for e in result.drift_events],
+            "replans": result.replans,
+            "plan_fingerprints": digests,
+            "recalibration_scales": planner.recalibration_scales,
+            "window_summaries": [
+                {
+                    "window": r.window,
+                    "num_slices": r.num_slices,
+                    "makespan_relative_error_frac": r.makespan_relative_error_frac,
+                    **r.overall().to_dict(),
+                }
+                for r in result.residuals
+            ],
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"streamed {len(stream)} requests in {len(result.windows)} windows "
+        f"on {soc.name}"
+    )
+    for r in result.residuals:
+        summary = r.overall()
+        print(
+            f"  window {r.window}: {r.num_slices} slices, mean residual "
+            f"{summary.mean_residual_ms:+.2f} ms "
+            f"({summary.mean_relative_error * 100:+.1f}%), "
+            f"fingerprint {digests[r.window]}"
+        )
+    if result.drift_events:
+        for event in result.drift_events:
+            print(
+                f"drift @ window {event.window}: {event.scope} "
+                f"{event.key!r} via {event.detector} "
+                f"(statistic {event.statistic:.3f} > {event.threshold:.3f})"
+            )
+        print(f"replans triggered: {result.replans}")
+        scaled = {
+            k: round(v, 3)
+            for k, v in planner.recalibration_scales.items()
+            if abs(v - 1.0) > 1e-9
+        }
+        if scaled:
+            print(f"recalibrated throughput scales: {scaled}")
+    else:
+        print("drift: no detector fired")
+    if args.jsonl:
+        print(f"telemetry: {rows} rows written to {args.jsonl}")
     return 0
 
 
@@ -331,6 +573,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable contention mitigation and tail optimization",
     )
+    trace_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable summary (hetero2pipe.trace.v1)",
+    )
 
     stats_parser = sub.add_parser(
         "stats",
@@ -339,7 +586,9 @@ def build_parser() -> argparse.ArgumentParser:
     stats_parser.add_argument("--soc", default="kirin990", choices=SOC_NAMES)
     stats_parser.add_argument("--models", required=True)
     stats_parser.add_argument(
-        "--json", action="store_true", help="emit the metrics registry as JSON"
+        "--json",
+        action="store_true",
+        help="emit a machine-readable document (hetero2pipe.stats.v1)",
     )
     stats_parser.add_argument(
         "--repeat",
@@ -349,6 +598,67 @@ def build_parser() -> argparse.ArgumentParser:
         help="plan the mix N times (N>1 shows the plan/objective cache "
         "counters warming up; see docs/PERFORMANCE.md)",
     )
+
+    def _add_perturbation_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--perturb",
+            type=float,
+            default=None,
+            metavar="FACTOR",
+            help="inject a synthetic slowdown: scale solo times on the "
+            "perturbed processor by FACTOR (e.g. 1.3 = +30%%)",
+        )
+        p.add_argument(
+            "--perturb-processor",
+            default="gpu",
+            metavar="NAME",
+            help="processor the perturbation applies to (default: gpu)",
+        )
+        p.add_argument(
+            "--json",
+            action="store_true",
+            help="emit a machine-readable document",
+        )
+        p.add_argument(
+            "--jsonl",
+            metavar="PATH",
+            help="write the residual/drift telemetry rows as JSONL",
+        )
+
+    accuracy_parser = sub.add_parser(
+        "accuracy",
+        help="join predicted vs executed run; report prediction residuals",
+    )
+    accuracy_parser.add_argument(
+        "--soc", default="kirin990", choices=SOC_NAMES
+    )
+    accuracy_parser.add_argument("--models", required=True)
+    _add_perturbation_args(accuracy_parser)
+    accuracy_parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a Chrome trace with the prediction-residual track",
+    )
+
+    drift_parser = sub.add_parser(
+        "drift",
+        help="streamed accuracy tracking with drift detectors and the "
+        "replan trigger live",
+    )
+    drift_parser.add_argument("--soc", default="kirin990", choices=SOC_NAMES)
+    drift_parser.add_argument("--models", required=True)
+    drift_parser.add_argument(
+        "--window", type=int, default=4, help="planning window size"
+    )
+    drift_parser.add_argument(
+        "--repeat",
+        type=int,
+        default=3,
+        metavar="N",
+        help="repeat the model list N times to form the stream (detectors "
+        "need several windows of samples)",
+    )
+    _add_perturbation_args(drift_parser)
 
     lint_parser = sub.add_parser(
         "lint",
@@ -371,6 +681,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "calibrate": _cmd_calibrate,
         "trace": _cmd_trace,
         "stats": _cmd_stats,
+        "accuracy": _cmd_accuracy,
+        "drift": _cmd_drift,
         "lint": _cmd_lint,
     }
     return handlers[args.command](args)

@@ -11,19 +11,39 @@ the previous window drains.
 
 The result aggregates per-request completion latency across windows so
 streaming behaviour (backlog, window-boundary bubbles) is measurable.
+
+When accuracy tracking is on, each window also closes the predict →
+execute → compare loop: the planner's own deterministic simulation of
+the committed plan (its prediction) is joined against the executed run
+(:func:`repro.obs.accuracy.join_execution`), the residuals feed the
+per-processor/per-model drift detectors
+(:class:`repro.obs.drift.DriftMonitor`), and a fired detector triggers
+the replan path — planner caches invalidated, the SoC spec recalibrated
+from the observed slowdown, and the planner rebuilt so the *next*
+window is planned against reality instead of the stale model.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
 from ..hardware.soc import SocSpec
 from ..models.ir import ModelGraph
 from ..runtime.executor import ExecutionResult, execute_plan
 from ..workloads.batching import coalesce_stream
+from .objective import Fingerprint, plan_fingerprint
 from .planner import Hetero2PipePlanner, PlannerConfig
+
+#: Recalibration clamps: per-drift throughput scale stays within this
+#: band so one noisy window cannot wreck the spec.
+_MIN_RECALIBRATION_SCALE = 0.25
+_MAX_RECALIBRATION_SCALE = 4.0
+#: Processors whose mean relative error is inside the deadband are left
+#: alone — re-deriving the spec from noise would itself inject drift.
+_RECALIBRATION_DEADBAND = 0.05
 
 
 @dataclass(frozen=True)
@@ -42,11 +62,21 @@ class WindowOutcome:
 
 @dataclass
 class StreamingResult:
-    """Aggregated outcome of a streamed execution."""
+    """Aggregated outcome of a streamed execution.
+
+    The accuracy fields stay empty unless the planner ran with
+    ``track_accuracy``: one :class:`~repro.obs.ResidualReport` and one
+    plan fingerprint per window, every :class:`~repro.obs.DriftDetected`
+    event the monitor fired, and the count of drift-triggered replans.
+    """
 
     windows: List[WindowOutcome]
     request_arrival_ms: List[float]
     request_finish_ms: List[float]
+    residuals: List["obs.ResidualReport"] = field(default_factory=list)
+    drift_events: List["obs.DriftDetected"] = field(default_factory=list)
+    plan_fingerprints: List[Fingerprint] = field(default_factory=list)
+    replans: int = 0
 
     @property
     def num_requests(self) -> int:
@@ -86,6 +116,24 @@ class StreamingPlanner:
         coalesce_batches: Fold runs of identical requests into batched
             requests before planning each window (Appendix D).
         max_batch: Batch-size cap for coalescing.
+        track_accuracy: Join each window's predicted execution against
+            the actual one and keep the residual reports (see module
+            docstring).  Implied by passing ``drift_monitor``.
+        drift_monitor: Drift detectors fed with every window's residuals;
+            a default :class:`~repro.obs.DriftMonitor` is created when
+            ``track_accuracy`` is set without one.
+        execute: The *actual* execution of a committed plan — a callable
+            ``plan -> ExecutionResult`` (default
+            :func:`~repro.runtime.executor.execute_plan`).  Tests and
+            what-if studies inject perturbed executors here
+            (:func:`~repro.runtime.executor.execute_plan_perturbed`);
+            the planner's *prediction* always remains its own clean
+            simulation, so the injected divergence shows up as residual.
+        recalibrate_on_drift: On a fired detector, invalidate the planner
+            caches, rescale drifting processors' throughput from the
+            observed residuals, and rebuild the planner (reusing the
+            fitted contention estimator) so the next window replans
+            against the corrected spec.
     """
 
     def __init__(
@@ -95,6 +143,10 @@ class StreamingPlanner:
         config: Optional[PlannerConfig] = None,
         coalesce_batches: bool = False,
         max_batch: int = 8,
+        track_accuracy: bool = False,
+        drift_monitor: Optional["obs.DriftMonitor"] = None,
+        execute: Optional[Callable[..., ExecutionResult]] = None,
+        recalibrate_on_drift: bool = True,
     ) -> None:
         if window_size < 1:
             raise ValueError("window size must be >= 1")
@@ -105,6 +157,64 @@ class StreamingPlanner:
         self.coalesce_batches = coalesce_batches
         self.max_batch = max_batch
         self.planner = Hetero2PipePlanner(soc, config)
+        self.track_accuracy = track_accuracy or drift_monitor is not None
+        self.drift_monitor = drift_monitor or (
+            obs.DriftMonitor() if self.track_accuracy else None
+        )
+        self.execute = execute or execute_plan
+        self.recalibrate_on_drift = recalibrate_on_drift
+        self.replans = 0
+        #: Cumulative per-processor throughput scale applied by replans.
+        self.recalibration_scales: Dict[str, float] = {
+            p.name: 1.0 for p in soc.processors
+        }
+
+    def _handle_drift(self, report: "obs.ResidualReport") -> None:
+        """The replan/re-profile trigger (module docstring, step 3).
+
+        Every cached prediction is now suspect, so the planner's
+        memoization layers are dropped wholesale; then each processor
+        whose residuals sit outside the deadband has its throughput
+        rescaled by the inverse of the observed actual/predicted ratio
+        (clamped), and the planner is rebuilt against the corrected SoC.
+        The contention estimator is reused: its PMU-derived intensity
+        labels describe *interference structure*, not throughput, and
+        refitting the zoo per drift would dwarf the planning budget.
+        """
+        self.replans += 1
+        self.planner.invalidate_caches()
+        scales: Dict[str, float] = {}
+        for name, summary in report.by_processor().items():
+            error = summary.mean_relative_error
+            if abs(error) <= _RECALIBRATION_DEADBAND:
+                continue
+            scale = 1.0 / (1.0 + error)
+            scales[name] = min(
+                _MAX_RECALIBRATION_SCALE,
+                max(_MIN_RECALIBRATION_SCALE, scale),
+            )
+        if not scales:
+            return
+        self.soc = dataclasses.replace(
+            self.soc,
+            processors=tuple(
+                dataclasses.replace(
+                    p, peak_gflops=p.peak_gflops * scales[p.name]
+                )
+                if p.name in scales
+                else p
+                for p in self.soc.processors
+            ),
+        )
+        for name, scale in scales.items():
+            self.recalibration_scales[name] = (
+                self.recalibration_scales.get(name, 1.0) * scale
+            )
+            obs.observe("recalibration_scale", scale)
+        self.planner = Hetero2PipePlanner(
+            self.soc, self.planner.config, estimator=self.planner.estimator
+        )
+        obs.add("drift_replans")
 
     def run(
         self,
@@ -135,8 +245,13 @@ class StreamingPlanner:
         windows: List[WindowOutcome] = []
         finish = [0.0] * len(stream)
         ready_ms = 0.0  # when the pipeline is free for the next window
+        residuals: List["obs.ResidualReport"] = []
+        fingerprints: List[Fingerprint] = []
+        drift_events: List["obs.DriftDetected"] = []
+        window_index = -1
 
         for start in range(0, len(stream), self.window_size):
+            window_index += 1
             window_models = list(stream[start : start + self.window_size])
             window_arrivals = list(
                 arrivals[start : start + self.window_size]
@@ -156,10 +271,34 @@ class StreamingPlanner:
                 "stream.window", first_request=start, requests=raw_count
             ) as sp:
                 report = self.planner.plan(window_models)
-                result = execute_plan(report.plan)
+                result = self.execute(report.plan)
                 sp.set(makespan_ms=result.makespan_ms)
             obs.add("windows_planned")
             obs.add("requests_coalesced", raw_count - len(window_models))
+            fingerprints.append(plan_fingerprint(report.plan))
+
+            if self.track_accuracy:
+                # The prediction is the planner's own clean simulation of
+                # the committed plan — exactly what the objective scored —
+                # so on an unperturbed run the residuals are identically
+                # zero and any deviation is real environment drift.
+                predicted = execute_plan(report.plan, record=False)
+                # TaskRecord.request is the execution position, so the
+                # name list is permuted by the committed order.
+                residual = obs.join_execution(
+                    predicted,
+                    result,
+                    model_names=[
+                        window_models[i].name for i in report.plan.order
+                    ],
+                    window=window_index,
+                )
+                residuals.append(residual)
+                if self.drift_monitor is not None:
+                    fired = self.drift_monitor.observe_report(residual)
+                    drift_events.extend(fired)
+                    if fired and self.recalibrate_on_drift:
+                        self._handle_drift(residual)
             windows.append(
                 WindowOutcome(
                     first_request=start,
@@ -189,4 +328,8 @@ class StreamingPlanner:
             windows=windows,
             request_arrival_ms=list(arrivals),
             request_finish_ms=finish,
+            residuals=residuals,
+            drift_events=drift_events,
+            plan_fingerprints=fingerprints,
+            replans=self.replans,
         )

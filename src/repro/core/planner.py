@@ -156,6 +156,23 @@ class Hetero2PipePlanner:
             else None
         )
 
+    def invalidate_caches(self) -> None:
+        """Drop every memoized prediction this planner has accumulated.
+
+        The replan/re-profile trigger: after a ``DriftDetected`` event
+        the cached partitions, objective probes and finished plans all
+        embed predictions the drift just falsified, so the streaming
+        layer clears them before planning the next window.  Profiles on
+        the shared profiler are *measurements*, not predictions, and are
+        kept.
+        """
+        self._partition_cache.clear()
+        if isinstance(self.objective, ObjectiveCache):
+            self.objective.clear()
+        if self._plan_cache is not None:
+            self._plan_cache.clear()
+        obs.add("planner_cache_invalidations")
+
     def _partition(self, profile: ModelProfile) -> PartitionResult:
         """Horizontal DP for one request, memoized per (model, fast_dp).
 

@@ -11,6 +11,7 @@ from . import frozen  # noqa: F401
 from . import infeasible  # noqa: F401
 from . import layering  # noqa: F401
 from . import printer  # noqa: F401
+from . import spanctx  # noqa: F401
 from . import units  # noqa: F401
 from . import wallclock  # noqa: F401
 
@@ -19,6 +20,7 @@ from .frozen import FrozenMutationRule
 from .infeasible import InfeasibleArithmeticRule
 from .layering import ImportLayeringRule
 from .printer import PrintInLibraryRule
+from .spanctx import SpanContextRule
 from .units import UnitSuffixRule
 from .wallclock import WallClockRule
 
@@ -28,6 +30,7 @@ __all__ = [
     "InfeasibleArithmeticRule",
     "ImportLayeringRule",
     "PrintInLibraryRule",
+    "SpanContextRule",
     "UnitSuffixRule",
     "WallClockRule",
 ]

@@ -1,0 +1,103 @@
+"""H2P108 — obs spans must be used as context managers.
+
+:func:`repro.obs.span` returns a context manager; its whole contract
+(the span closes on every exit path, including raises, and nesting is
+derived from entry order) only holds when the call sits in a ``with``
+statement.  Assigning the span to a variable and entering it manually —
+or never entering it — leaks an open span into the recorder, which
+corrupts the span tree and the Perfetto export.  PR 3 fixed exactly this
+leak by hand in ``plan.mitigate``; this rule keeps the class of bug from
+coming back.
+
+Both call shapes are in scope: ``obs.span(...)`` via the package import
+and bare ``span(...)`` when the module imported the helper from an obs
+module.  Conditional expressions inside a ``with`` item are fine — the
+executor's ``with (obs.span(...) if record else obs.NULL_SPAN):``
+pattern keeps the call inside the context expression.
+
+``repro.obs`` itself is exempt: it implements the helper and its
+internals legitimately hold span objects.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from ..engine import Finding, LintContext, LintRule, register_rule
+
+
+def _exempt_module(ctx: LintContext) -> bool:
+    parts = ctx.package_parts
+    if not parts or parts[0] != "repro":
+        return True  # only repro library code is in scope
+    if len(parts) >= 2 and parts[1] == "obs":
+        return True  # the implementation itself
+    return False
+
+
+def _span_importing_names(tree: ast.Module) -> Set[str]:
+    """Local names that ``span`` was imported under from an obs module."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ImportFrom):
+            continue
+        module = node.module or ""
+        tail = module.split(".")[-1] if module else ""
+        if tail not in ("obs", "recorder"):
+            continue
+        for alias in node.names:
+            if alias.name == "span":
+                names.add(alias.asname or alias.name)
+    return names
+
+
+def _is_span_call(node: ast.Call, local_names: Set[str]) -> bool:
+    fn = node.func
+    if isinstance(fn, ast.Attribute) and fn.attr == "span":
+        return isinstance(fn.value, ast.Name) and fn.value.id == "obs"
+    if isinstance(fn, ast.Name):
+        return fn.id in local_names
+    return False
+
+
+def _with_item_nodes(tree: ast.Module) -> Set[int]:
+    """ids of every AST node inside a ``with`` item's context expression."""
+    inside: Set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                for child in ast.walk(item.context_expr):
+                    inside.add(id(child))
+    return inside
+
+
+@register_rule
+class SpanContextRule(LintRule):
+    code = "H2P108"
+    name = "span-as-context-manager"
+    rationale = (
+        "obs.span() must be entered via `with`, so the span closes on "
+        "every exit path; a manually held span leaks into the recorder "
+        "and corrupts the span tree"
+    )
+
+    def check(self, tree: ast.Module, ctx: LintContext) -> Iterator[Finding]:
+        if _exempt_module(ctx):
+            return
+        local_names = _span_importing_names(tree)
+        sanctioned = _with_item_nodes(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not _is_span_call(node, local_names):
+                continue
+            if id(node) in sanctioned:
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                "obs span opened outside a `with` statement; use "
+                "`with obs.span(...) as sp:` so the span closes on every "
+                "exit path",
+            )

@@ -27,8 +27,19 @@ global load plus an attribute check.  See ``docs/OBSERVABILITY.md``.
 
 from __future__ import annotations
 
+from .accuracy import (
+    RequestResidual,
+    ResidualReport,
+    ResidualSummary,
+    SliceResidual,
+    join_execution,
+    report_from_dict,
+    summarize,
+)
+from .drift import CusumDetector, DriftMonitor, EwmaDetector
 from .events import (
     EVENT_KINDS,
+    DriftDetected,
     LayerStolen,
     OrderCommitted,
     PlacementChanged,
@@ -36,6 +47,12 @@ from .events import (
     RequestRelocated,
     SliceChosen,
     TailReplaced,
+    event_from_dict,
+)
+from .export import (
+    render_telemetry_jsonl,
+    telemetry_rows,
+    write_telemetry_jsonl,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .provenance import reconstruct_plan, render_explanation
@@ -87,7 +104,23 @@ __all__ = [
     "LayerStolen",
     "PlacementChanged",
     "TailReplaced",
+    "DriftDetected",
     "EVENT_KINDS",
+    "event_from_dict",
     "reconstruct_plan",
     "render_explanation",
+    # prediction accuracy + drift
+    "SliceResidual",
+    "RequestResidual",
+    "ResidualSummary",
+    "ResidualReport",
+    "summarize",
+    "join_execution",
+    "report_from_dict",
+    "EwmaDetector",
+    "CusumDetector",
+    "DriftMonitor",
+    "telemetry_rows",
+    "render_telemetry_jsonl",
+    "write_telemetry_jsonl",
 ]

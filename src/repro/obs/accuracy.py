@@ -1,0 +1,399 @@
+"""Prediction-accuracy residuals: the planner's model vs executed reality.
+
+Hetero2Pipe's plan quality rests entirely on *predictions* — per-slice
+solo latencies from the roofline profiles, Eq. 1 contention intensities,
+and the simulated contention-aware makespan the objective optimizes.
+This module closes the predict → execute → compare loop: it joins the
+planner's predicted execution (the same deterministic simulation the
+objective ran, re-played under the planner's assumptions) against the
+*actual* executed :class:`~repro.runtime.executor.TaskRecord` stream and
+produces typed residual records at every granularity the drift detectors
+and dashboards consume:
+
+* per **slice** (:class:`SliceResidual`) — predicted vs actual duration
+  and slowdown of one ``(request, stage)`` execution;
+* per **request** (:class:`RequestResidual`) — predicted vs actual
+  completion latency;
+* per **run/window** (:class:`ResidualReport`) — the makespan residual
+  plus aggregation by processor, stage and model.
+
+The join is exact: every executed task record must map to exactly one
+predicted record (same ``(request, stage)`` key) or the join raises —
+a partial join would silently hide exactly the mispredictions this
+subsystem exists to expose.
+
+This module is a data-only leaf like the rest of ``repro.obs``: the
+predicted/actual inputs are duck-typed execution results (anything with
+``records`` / ``request_*_ms`` / ``makespan_ms``), so nothing here
+imports ``core`` or ``runtime``.  Streaming drift detection over these
+residuals lives in :mod:`repro.obs.drift`; JSONL export in
+:mod:`repro.obs.export`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from .recorder import add, enabled, observe
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, keeps obs a leaf
+    from ..runtime.executor import ExecutionResult
+
+
+@dataclass(frozen=True)
+class SliceResidual:
+    """Predicted vs actual execution of one slice.
+
+    Attributes:
+        request: Execution position (matches ``TaskRecord.request``).
+        stage: Pipeline stage index.
+        processor: Processor the slice ran on (actual).
+        model: Model name of the request ('' when the caller has none).
+        predicted_ms: Duration the planner's simulation predicted.
+        actual_ms: Executed duration.
+        predicted_slowdown: Slowdown the planner's model predicted
+            (``predicted / solo - 1``).
+        observed_slowdown: Slowdown the executor observed.
+        start_ms: Actual start time (anchors trace counter tracks).
+        finish_ms: Actual finish time.
+    """
+
+    request: int
+    stage: int
+    processor: str
+    model: str
+    predicted_ms: float
+    actual_ms: float
+    predicted_slowdown: float
+    observed_slowdown: float
+    start_ms: float
+    finish_ms: float
+
+    @property
+    def residual_ms(self) -> float:
+        """Signed prediction error: positive means slower than predicted."""
+        return self.actual_ms - self.predicted_ms
+
+    @property
+    def relative_error(self) -> float:
+        """Residual as a fraction of the prediction (0 when predicted 0)."""
+        if self.predicted_ms <= 0:
+            return 0.0
+        return self.residual_ms / self.predicted_ms
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "request": self.request,
+            "stage": self.stage,
+            "processor": self.processor,
+            "model": self.model,
+            "predicted_ms": self.predicted_ms,
+            "actual_ms": self.actual_ms,
+            "predicted_slowdown": self.predicted_slowdown,
+            "observed_slowdown": self.observed_slowdown,
+            "start_ms": self.start_ms,
+            "finish_ms": self.finish_ms,
+            "residual_ms": self.residual_ms,
+            "relative_error": self.relative_error,
+        }
+
+
+@dataclass(frozen=True)
+class RequestResidual:
+    """Predicted vs actual completion latency of one request."""
+
+    request: int
+    model: str
+    predicted_ms: float
+    actual_ms: float
+
+    @property
+    def residual_ms(self) -> float:
+        return self.actual_ms - self.predicted_ms
+
+    @property
+    def relative_error(self) -> float:
+        if self.predicted_ms <= 0:
+            return 0.0
+        return self.residual_ms / self.predicted_ms
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "request": self.request,
+            "model": self.model,
+            "predicted_ms": self.predicted_ms,
+            "actual_ms": self.actual_ms,
+            "residual_ms": self.residual_ms,
+            "relative_error": self.relative_error,
+        }
+
+
+@dataclass(frozen=True)
+class ResidualSummary:
+    """Aggregate residual statistics over one group of slices."""
+
+    count: int
+    mean_residual_ms: float
+    mean_abs_residual_ms: float
+    mean_relative_error: float
+    worst_relative_error: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "mean_residual_ms": self.mean_residual_ms,
+            "mean_abs_residual_ms": self.mean_abs_residual_ms,
+            "mean_relative_error": self.mean_relative_error,
+            "worst_relative_error": self.worst_relative_error,
+        }
+
+
+def summarize(residuals: Sequence[SliceResidual]) -> ResidualSummary:
+    """Aggregate a group of slice residuals."""
+    if not residuals:
+        return ResidualSummary(0, 0.0, 0.0, 0.0, 0.0)
+    n = len(residuals)
+    rel = [r.relative_error for r in residuals]
+    worst = max(rel, key=abs)
+    return ResidualSummary(
+        count=n,
+        mean_residual_ms=sum(r.residual_ms for r in residuals) / n,
+        mean_abs_residual_ms=sum(abs(r.residual_ms) for r in residuals) / n,
+        mean_relative_error=sum(rel) / n,
+        worst_relative_error=worst,
+    )
+
+
+@dataclass(frozen=True)
+class ResidualReport:
+    """One run's (or one streaming window's) full residual join."""
+
+    slices: Tuple[SliceResidual, ...]
+    requests: Tuple[RequestResidual, ...]
+    predicted_makespan_ms: float
+    actual_makespan_ms: float
+    window: int = -1
+
+    @property
+    def makespan_residual_ms(self) -> float:
+        return self.actual_makespan_ms - self.predicted_makespan_ms
+
+    @property
+    def makespan_relative_error_frac(self) -> float:
+        if self.predicted_makespan_ms <= 0:
+            return 0.0
+        return self.makespan_residual_ms / self.predicted_makespan_ms
+
+    @property
+    def num_slices(self) -> int:
+        return len(self.slices)
+
+    def overall(self) -> ResidualSummary:
+        return summarize(self.slices)
+
+    def by_processor(self) -> Dict[str, ResidualSummary]:
+        return self._grouped(lambda r: r.processor)
+
+    def by_stage(self) -> Dict[int, ResidualSummary]:
+        return self._grouped(lambda r: r.stage)
+
+    def by_model(self) -> Dict[str, ResidualSummary]:
+        groups = self._grouped(lambda r: r.model)
+        groups.pop("", None)
+        return groups
+
+    def _grouped(self, key) -> Dict:  # type: ignore[no-untyped-def]
+        groups: Dict[object, List[SliceResidual]] = {}
+        for residual in self.slices:
+            groups.setdefault(key(residual), []).append(residual)
+        return {k: summarize(v) for k, v in sorted(groups.items())}
+
+    def to_dict(self) -> Dict[str, object]:
+        """Nested document form (the replay round-trip format)."""
+        return {
+            "window": self.window,
+            "predicted_makespan_ms": self.predicted_makespan_ms,
+            "actual_makespan_ms": self.actual_makespan_ms,
+            "makespan_residual_ms": self.makespan_residual_ms,
+            "slices": [s.to_dict() for s in self.slices],
+            "requests": [r.to_dict() for r in self.requests],
+        }
+
+    def to_rows(self) -> List[Dict[str, object]]:
+        """Flat telemetry rows (one JSONL line each; see obs.export)."""
+        rows: List[Dict[str, object]] = []
+        summary = self.overall().to_dict()
+        summary.update(
+            {
+                "type": "window_summary",
+                "window": self.window,
+                "predicted_makespan_ms": self.predicted_makespan_ms,
+                "actual_makespan_ms": self.actual_makespan_ms,
+                "makespan_residual_ms": self.makespan_residual_ms,
+                "makespan_relative_error_frac": self.makespan_relative_error_frac,
+            }
+        )
+        rows.append(summary)
+        for s in self.slices:
+            row = s.to_dict()
+            row.update({"type": "slice_residual", "window": self.window})
+            rows.append(row)
+        for r in self.requests:
+            row = r.to_dict()
+            row.update({"type": "request_residual", "window": self.window})
+            rows.append(row)
+        return rows
+
+
+def _slice_residual_from_dict(doc: Dict[str, object]) -> SliceResidual:
+    return SliceResidual(
+        request=int(doc["request"]),  # type: ignore[arg-type]
+        stage=int(doc["stage"]),  # type: ignore[arg-type]
+        processor=str(doc["processor"]),
+        model=str(doc["model"]),
+        predicted_ms=float(doc["predicted_ms"]),  # type: ignore[arg-type]
+        actual_ms=float(doc["actual_ms"]),  # type: ignore[arg-type]
+        predicted_slowdown=float(doc["predicted_slowdown"]),  # type: ignore[arg-type]
+        observed_slowdown=float(doc["observed_slowdown"]),  # type: ignore[arg-type]
+        start_ms=float(doc["start_ms"]),  # type: ignore[arg-type]
+        finish_ms=float(doc["finish_ms"]),  # type: ignore[arg-type]
+    )
+
+
+def report_from_dict(doc: Dict[str, object]) -> ResidualReport:
+    """Rebuild a :class:`ResidualReport` from :meth:`ResidualReport.to_dict`."""
+    return ResidualReport(
+        slices=tuple(
+            _slice_residual_from_dict(s)  # type: ignore[arg-type]
+            for s in doc.get("slices", [])  # type: ignore[union-attr]
+        ),
+        requests=tuple(
+            RequestResidual(
+                request=int(r["request"]),
+                model=str(r["model"]),
+                predicted_ms=float(r["predicted_ms"]),
+                actual_ms=float(r["actual_ms"]),
+            )
+            for r in doc.get("requests", [])  # type: ignore[union-attr]
+        ),
+        predicted_makespan_ms=float(doc["predicted_makespan_ms"]),  # type: ignore[arg-type]
+        actual_makespan_ms=float(doc["actual_makespan_ms"]),  # type: ignore[arg-type]
+        window=int(doc.get("window", -1)),  # type: ignore[arg-type]
+    )
+
+
+def join_execution(
+    predicted: "ExecutionResult",
+    actual: "ExecutionResult",
+    model_names: Optional[Sequence[str]] = None,
+    window: int = -1,
+) -> ResidualReport:
+    """Join a predicted execution against the executed one.
+
+    ``predicted`` is the planner's model of the run — the same
+    deterministic simulation the objective scored, produced by e.g.
+    ``execute_plan(report.plan, record=False)`` under the planner's
+    assumptions.  ``actual`` is what really ran (possibly perturbed,
+    throttled, or co-scheduled differently).  Both must describe the
+    same plan: the join is keyed by ``(request, stage)`` and is
+    total — every executed task record maps to exactly one predicted
+    record.
+
+    Args:
+        predicted: The planner's simulated execution of the plan.
+        actual: The executed run.
+        model_names: Model name per execution position (``request``
+            index); omitted names render as ''.
+        window: Streaming window index for per-window telemetry.
+
+    Returns:
+        The :class:`ResidualReport`.
+
+    Raises:
+        ValueError: when the two runs do not describe the same plan —
+            duplicate slice keys, executed slices with no predicted
+            counterpart (or vice versa), or request-count mismatch.
+    """
+    predicted_by: Dict[Tuple[int, int], object] = {}
+    for rec in predicted.records:
+        key = (rec.request, rec.stage)
+        if key in predicted_by:
+            raise ValueError(f"predicted run has duplicate slice {key}")
+        predicted_by[key] = rec
+
+    if predicted.num_requests != actual.num_requests:
+        raise ValueError(
+            f"request count mismatch: predicted {predicted.num_requests}, "
+            f"actual {actual.num_requests}"
+        )
+
+    def name_of(request: int) -> str:
+        if model_names is not None and 0 <= request < len(model_names):
+            return model_names[request]
+        return ""
+
+    slices: List[SliceResidual] = []
+    seen: set = set()  # of (request, stage) keys
+    for rec in actual.records:
+        key = (rec.request, rec.stage)
+        if key in seen:
+            raise ValueError(f"actual run has duplicate slice {key}")
+        seen.add(key)
+        pred = predicted_by.get(key)
+        if pred is None:
+            raise ValueError(
+                f"executed slice {key} has no predicted counterpart; "
+                "predicted and actual runs describe different plans"
+            )
+        slices.append(
+            SliceResidual(
+                request=rec.request,
+                stage=rec.stage,
+                processor=rec.processor,
+                model=name_of(rec.request),
+                predicted_ms=pred.duration_ms,  # type: ignore[attr-defined]
+                actual_ms=rec.duration_ms,
+                predicted_slowdown=pred.slowdown,  # type: ignore[attr-defined]
+                observed_slowdown=rec.slowdown,
+                start_ms=rec.start_ms,
+                finish_ms=rec.finish_ms,
+            )
+        )
+    unmatched = set(predicted_by) - seen
+    if unmatched:
+        raise ValueError(
+            f"predicted slices never executed: {sorted(unmatched)}"
+        )
+
+    requests = tuple(
+        RequestResidual(
+            request=i,
+            model=name_of(i),
+            predicted_ms=predicted.request_latency_ms(i),
+            actual_ms=actual.request_latency_ms(i),
+        )
+        for i in range(actual.num_requests)
+    )
+
+    report = ResidualReport(
+        slices=tuple(sorted(slices, key=lambda s: (s.request, s.stage))),
+        requests=requests,
+        predicted_makespan_ms=predicted.makespan_ms,
+        actual_makespan_ms=actual.makespan_ms,
+        window=window,
+    )
+    if enabled():
+        add("residual_slices_joined", report.num_slices)
+        add("residual_joins")
+        for s in report.slices:
+            observe("slice_residual_ms", s.residual_ms)
+            observe("slice_relative_error", s.relative_error)
+    return report

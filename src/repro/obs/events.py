@@ -166,6 +166,38 @@ class TailReplaced(ProvenanceEvent):
     makespan_after_ms: float
 
 
+@dataclass(frozen=True)
+class DriftDetected(ProvenanceEvent):
+    """A streaming drift detector fired on prediction residuals.
+
+    Unlike the planner events above, this event is emitted by the
+    *accuracy* side of observability (:mod:`repro.obs.drift`): the
+    planner's predictions for one processor or model have been drifting
+    away from executed reality for long enough that a detector tripped.
+    Consumers (``StreamingPlanner``, the ``drift-guard`` CI job) treat
+    it as a replan/re-profile trigger.
+
+    Attributes:
+        scope: What drifted — ``"processor"`` or ``"model"``.
+        key: The drifting processor/model name.
+        detector: ``"ewma"`` or ``"cusum"``.
+        statistic: The detector statistic at the moment it fired.
+        threshold: The firing threshold the statistic exceeded.
+        samples: Residual samples this key had consumed when it fired.
+        window: Streaming window index (-1 outside a windowed run).
+    """
+
+    kind: ClassVar[str] = "drift_detected"
+
+    scope: str
+    key: str
+    detector: str
+    statistic: float
+    threshold: float
+    samples: int
+    window: int = -1
+
+
 #: kind string -> event class, for deserialization and filtering.
 EVENT_KINDS: Dict[str, type] = {
     cls.kind: cls
@@ -176,5 +208,25 @@ EVENT_KINDS: Dict[str, type] = {
         LayerStolen,
         PlacementChanged,
         TailReplaced,
+        DriftDetected,
     )
 }
+
+
+def _tuplify(value: object) -> object:
+    """JSON arrays back to the tuples the frozen events carry."""
+    if isinstance(value, list):
+        return tuple(_tuplify(v) for v in value)
+    return value
+
+
+def event_from_dict(doc: Dict[str, object]) -> ProvenanceEvent:
+    """Rebuild an event from its :meth:`ProvenanceEvent.to_dict` form.
+
+    Raises:
+        KeyError: on a missing or unknown ``kind``.
+    """
+    kind = doc["kind"]
+    cls = EVENT_KINDS[str(kind)]
+    kwargs = {k: _tuplify(v) for k, v in doc.items() if k != "kind"}
+    return cls(**kwargs)  # type: ignore[no-any-return]

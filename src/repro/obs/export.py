@@ -19,8 +19,11 @@ clocks are comparable.
 
 from __future__ import annotations
 
+import json
 from typing import Dict, List, Optional, Sequence
 
+from .accuracy import ResidualReport
+from .events import DriftDetected
 from .metrics import MetricsRegistry
 from .spans import Span
 
@@ -140,6 +143,91 @@ def flow_pair(
     f: TraceEvent = dict(base)
     f.update({"ph": "f", "bp": "e", **finish})
     return [s, f]
+
+
+def residual_counter_events(
+    reports: Sequence[ResidualReport],
+    pid: int = EXECUTION_PID,
+    tid: int = 0,
+) -> List[TraceEvent]:
+    """``C`` counter samples tracking the prediction residual over time.
+
+    One sample per executed slice, anchored at the slice's *actual*
+    finish time on the simulated-execution timeline — so the residual
+    track lines up under the execution Gantt in Perfetto and a drifting
+    run shows as a rising staircase.
+    """
+    events: List[TraceEvent] = []
+    for report in reports:
+        for s in sorted(report.slices, key=lambda r: r.finish_ms):
+            events.append(
+                {
+                    "name": "prediction_residual_ms",
+                    "cat": "accuracy",
+                    "ph": "C",
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": s.finish_ms * 1e3,
+                    "args": {"residual_ms": s.residual_ms},
+                }
+            )
+    return events
+
+
+def telemetry_rows(
+    reports: Sequence[ResidualReport],
+    drift_events: Sequence[DriftDetected] = (),
+) -> List[Dict[str, object]]:
+    """Flatten residual reports + drift events into JSONL telemetry rows.
+
+    Every row carries a ``type`` discriminator — ``window_summary``,
+    ``slice_residual``, ``request_residual`` or ``drift_detected`` — so
+    consumers can stream-filter without schema knowledge.  The schema is
+    documented in docs/OBSERVABILITY.md.
+    """
+    rows: List[Dict[str, object]] = []
+    for report in reports:
+        rows.extend(report.to_rows())
+    for event in drift_events:
+        row = event.to_dict()
+        row["type"] = "drift_detected"
+        rows.append(row)
+    return rows
+
+
+def render_telemetry_jsonl(
+    reports: Sequence[ResidualReport],
+    drift_events: Sequence[DriftDetected] = (),
+) -> str:
+    """The telemetry rows as JSONL text (one JSON object per line)."""
+    lines = [
+        json.dumps(row, sort_keys=True)
+        for row in telemetry_rows(reports, drift_events)
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_telemetry_jsonl(
+    path: str,
+    reports: Sequence[ResidualReport],
+    drift_events: Sequence[DriftDetected] = (),
+) -> int:
+    """Write the telemetry JSONL to ``path``; returns the row count."""
+    text = render_telemetry_jsonl(reports, drift_events)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    return 0 if not text else text.count("\n")
+
+
+def read_telemetry_jsonl(path: str) -> List[Dict[str, object]]:
+    """Load telemetry rows back from a JSONL file (blank lines skipped)."""
+    rows: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    return rows
 
 
 def _jsonable(value: object) -> object:

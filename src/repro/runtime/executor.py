@@ -135,6 +135,41 @@ class ExecutionResult:
             self.request_latency_ms(i) for i in range(self.num_requests)
         ) / max(1, self.num_requests)
 
+    def latency_percentile_ms(self, pct: float) -> float:
+        """Interpolated completion-latency percentile across requests.
+
+        Uses the linear-interpolation definition (numpy's default): p0
+        is the fastest request, p100 the slowest, p50 the median.
+
+        Raises:
+            ValueError: when ``pct`` is outside [0, 100] or the run has
+                no requests.
+        """
+        if not 0.0 <= pct <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {pct}")
+        if self.num_requests == 0:
+            raise ValueError("no requests: latency percentile undefined")
+        latencies = sorted(
+            self.request_latency_ms(i) for i in range(self.num_requests)
+        )
+        rank = (pct / 100.0) * (len(latencies) - 1)
+        lo = int(rank)
+        hi = min(lo + 1, len(latencies) - 1)
+        frac = rank - lo
+        return latencies[lo] * (1.0 - frac) + latencies[hi] * frac
+
+    @property
+    def p50_latency_ms(self) -> float:
+        return self.latency_percentile_ms(50.0)
+
+    @property
+    def p95_latency_ms(self) -> float:
+        return self.latency_percentile_ms(95.0)
+
+    @property
+    def p99_latency_ms(self) -> float:
+        return self.latency_percentile_ms(99.0)
+
     def utilization(self, processor: str, span: Optional[float] = None) -> float:
         """Busy fraction of one processor over the makespan."""
         span = span if span is not None else self.makespan_ms
@@ -392,7 +427,7 @@ def simulate_chains(
 
     # The span covers exactly the event loop's wall time; the context
     # manager closes it on the RuntimeError raise paths too.
-    _span_cm = (
+    with (
         obs.span(
             "execute",
             requests=n,
@@ -401,8 +436,7 @@ def simulate_chains(
         )
         if record
         else obs.NULL_SPAN
-    )
-    with _span_cm as _span:
+    ) as _span:
         while completed < total_tasks:
             if offline:
                 reassign_offline_heads()
@@ -527,6 +561,62 @@ def plan_to_chains(plan: "PipelinePlan") -> List[List[ChainTask]]:
             )
         chains.append(chain)
     return chains
+
+
+def scale_chain_tasks(
+    chains: Sequence[Sequence[ChainTask]],
+    factors: Dict[str, float],
+) -> int:
+    """Perturbation injection: scale task solo times per processor.
+
+    Multiplies ``solo_ms`` / ``remaining_ms`` of every not-yet-started
+    task bound to a processor in ``factors`` (e.g. ``{"gpu": 1.3}`` is
+    a +30% slowdown — thermal throttling, an unplanned co-runner).  The
+    planner never sees the perturbation, so the executed run diverges
+    from its prediction — the scenario the drift detectors exist for.
+
+    Returns:
+        The number of tasks scaled.
+
+    Raises:
+        ValueError: on a non-positive factor.
+    """
+    for name, factor in factors.items():
+        if factor <= 0:
+            raise ValueError(f"factor for {name!r} must be > 0, got {factor}")
+    scaled = 0
+    for chain in chains:
+        for task in chain:
+            factor = factors.get(task.proc.name)
+            if factor is None:
+                continue
+            task.solo_ms = task.solo_ms * factor
+            task.remaining_ms = task.remaining_ms * factor
+            scaled += 1
+    return scaled
+
+
+def execute_plan_perturbed(
+    plan: "PipelinePlan",
+    factors: Dict[str, float],
+    arrivals: Optional[Sequence[float]] = None,
+    with_contention: bool = True,
+    enforce_memory: bool = True,
+    trace: bool = False,
+    record: bool = True,
+) -> ExecutionResult:
+    """Execute a plan with per-processor slowdown factors injected."""
+    chains = plan_to_chains(plan)
+    scale_chain_tasks(chains, factors)
+    return simulate_chains(
+        plan.soc,
+        chains,
+        arrivals=arrivals,
+        with_contention=with_contention,
+        enforce_memory=enforce_memory,
+        trace=trace,
+        record=record,
+    )
 
 
 class PipelineExecutor:

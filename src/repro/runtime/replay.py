@@ -1,4 +1,4 @@
-"""Post-hoc timeline analysis of executed schedules.
+"""Post-hoc timeline analysis and serialization of executed schedules.
 
 Given an :class:`~repro.runtime.executor.ExecutionResult`, reconstructs
 the per-processor timeline: busy intervals, the idle gaps between them
@@ -6,12 +6,20 @@ the per-processor timeline: busy intervals, the idle gaps between them
 sampled concurrency profile, and the critical chain of records that
 determined the makespan.  The examples and experiments use this to
 explain *where* a schedule lost its time.
+
+:func:`save_run` / :func:`load_run` round-trip a full run to JSON —
+execution records, trace samples, and the prediction-accuracy telemetry
+(residual reports + drift events) — so accuracy analysis can run
+offline, long after the run that produced it.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from ..obs import DriftDetected, ResidualReport, event_from_dict, report_from_dict
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .executor import ExecutionResult, TaskRecord
@@ -139,6 +147,130 @@ def critical_chain(result: "ExecutionResult") -> List["TaskRecord"]:
         chain.append(predecessor)
     chain.reverse()
     return chain
+
+
+#: Schema identifier stamped into every serialized run document.
+RUN_SCHEMA = "hetero2pipe.run.v1"
+
+
+def run_to_dict(
+    result: "ExecutionResult",
+    residuals: Sequence[ResidualReport] = (),
+    drift_events: Sequence[DriftDetected] = (),
+) -> Dict[str, object]:
+    """Serialize a run (+ accuracy telemetry) to a JSON-safe document."""
+    return {
+        "schema": RUN_SCHEMA,
+        "makespan_ms": result.makespan_ms,
+        "request_arrival_ms": list(result.request_arrival_ms),
+        "request_finish_ms": list(result.request_finish_ms),
+        "processor_busy_ms": dict(result.processor_busy_ms),
+        "memory_pressure_events": result.memory_pressure_events,
+        "records": [
+            {
+                "request": r.request,
+                "stage": r.stage,
+                "processor": r.processor,
+                "start_ms": r.start_ms,
+                "finish_ms": r.finish_ms,
+                "solo_ms": r.solo_ms,
+                "traffic_bytes": r.traffic_bytes,
+            }
+            for r in result.records
+        ],
+        "trace": [
+            {
+                "time_ms": p.time_ms,
+                "bandwidth_demand_gbps": p.bandwidth_demand_gbps,
+                "memory_freq_mhz": p.memory_freq_mhz,
+                "used_bytes": p.used_bytes,
+                "active_processors": list(p.active_processors),
+            }
+            for p in result.trace
+        ],
+        "residuals": [r.to_dict() for r in residuals],
+        "drift_events": [e.to_dict() for e in drift_events],
+    }
+
+
+def run_from_dict(
+    doc: Dict[str, object],
+) -> Tuple["ExecutionResult", List[ResidualReport], List[DriftDetected]]:
+    """Rebuild a run (+ accuracy telemetry) from :func:`run_to_dict`.
+
+    Raises:
+        ValueError: on an unknown schema identifier.
+    """
+    from .executor import ExecutionResult, TaskRecord, TracePoint
+
+    schema = doc.get("schema", RUN_SCHEMA)
+    if schema != RUN_SCHEMA:
+        raise ValueError(f"unsupported run schema {schema!r}")
+    result = ExecutionResult(
+        records=[
+            TaskRecord(
+                request=int(r["request"]),
+                stage=int(r["stage"]),
+                processor=str(r["processor"]),
+                start_ms=float(r["start_ms"]),
+                finish_ms=float(r["finish_ms"]),
+                solo_ms=float(r["solo_ms"]),
+                traffic_bytes=float(r.get("traffic_bytes", 0.0)),
+            )
+            for r in doc.get("records", [])  # type: ignore[union-attr]
+        ],
+        makespan_ms=float(doc["makespan_ms"]),  # type: ignore[arg-type]
+        request_arrival_ms=[
+            float(t) for t in doc.get("request_arrival_ms", [])  # type: ignore[union-attr]
+        ],
+        request_finish_ms=[
+            float(t) for t in doc.get("request_finish_ms", [])  # type: ignore[union-attr]
+        ],
+        trace=[
+            TracePoint(
+                time_ms=float(p["time_ms"]),
+                bandwidth_demand_gbps=float(p["bandwidth_demand_gbps"]),
+                memory_freq_mhz=int(p["memory_freq_mhz"]),
+                used_bytes=float(p["used_bytes"]),
+                active_processors=tuple(p.get("active_processors", ())),
+            )
+            for p in doc.get("trace", [])  # type: ignore[union-attr]
+        ],
+        processor_busy_ms={
+            str(k): float(v)
+            for k, v in doc.get("processor_busy_ms", {}).items()  # type: ignore[union-attr]
+        },
+        memory_pressure_events=int(doc.get("memory_pressure_events", 0)),  # type: ignore[arg-type]
+    )
+    residuals = [
+        report_from_dict(r) for r in doc.get("residuals", [])  # type: ignore[union-attr]
+    ]
+    drift_events = []
+    for e in doc.get("drift_events", []):  # type: ignore[union-attr]
+        event = event_from_dict(e)
+        if not isinstance(event, DriftDetected):
+            raise ValueError(f"expected drift_detected event, got {event.kind}")
+        drift_events.append(event)
+    return result, residuals, drift_events
+
+
+def save_run(
+    path: str,
+    result: "ExecutionResult",
+    residuals: Sequence[ResidualReport] = (),
+    drift_events: Sequence[DriftDetected] = (),
+) -> None:
+    """Write a run (+ accuracy telemetry) as a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(run_to_dict(result, residuals, drift_events), handle)
+
+
+def load_run(
+    path: str,
+) -> Tuple["ExecutionResult", List[ResidualReport], List[DriftDetected]]:
+    """Load a run written by :func:`save_run`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return run_from_dict(json.load(handle))
 
 
 def utilization_summary(result: "ExecutionResult") -> Dict[str, float]:

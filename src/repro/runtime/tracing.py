@@ -237,6 +237,7 @@ def to_chrome_trace(
     result: "ExecutionResult",
     request_names: Optional[Sequence[str]] = None,
     recorder: Optional["obs.InMemoryRecorder"] = None,
+    residuals: Optional[Sequence["obs.ResidualReport"]] = None,
 ) -> str:
     """Serialize a run as a Chrome trace (JSON string).
 
@@ -248,6 +249,11 @@ def to_chrome_trace(
             the planning run; when given, planner spans, metric counter
             tracks and provenance flow arrows are merged in (see module
             docstring).
+        residuals: Prediction-accuracy reports for this run (see
+            :func:`repro.obs.accuracy.join_execution`); when given, a
+            ``prediction_residual_ms`` counter track is drawn on the
+            execution timeline, one sample per slice at its finish
+            time — drift renders as a rising staircase under the Gantt.
 
     Returns:
         A JSON document in the Chrome tracing "traceEvents" format with
@@ -296,6 +302,12 @@ def to_chrome_trace(
             }
         )
     events.extend(_trace_counter_events(result))
+    if residuals:
+        events.extend(
+            obs_export.residual_counter_events(
+                residuals, pid=obs_export.EXECUTION_PID
+            )
+        )
 
     if recorder is not None and recorder.enabled:
         planner_events = obs_export.span_trace_events(
@@ -387,8 +399,13 @@ def write_chrome_trace(
     path: str,
     request_names: Optional[Sequence[str]] = None,
     recorder: Optional["obs.InMemoryRecorder"] = None,
+    residuals: Optional[Sequence["obs.ResidualReport"]] = None,
 ) -> None:
     """Write the (optionally merged, see :func:`to_chrome_trace`)
     Chrome trace JSON to a file."""
     with open(path, "w", encoding="utf-8") as handle:
-        handle.write(to_chrome_trace(result, request_names, recorder=recorder))
+        handle.write(
+            to_chrome_trace(
+                result, request_names, recorder=recorder, residuals=residuals
+            )
+        )

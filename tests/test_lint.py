@@ -233,6 +233,83 @@ class TestPrintRule:
         assert "H2P107" not in codes
 
 
+class TestSpanContextRule:
+    def test_manually_held_span_flagged(self):
+        # The exact leak class PR 3 fixed by hand in plan.mitigate.
+        codes, findings = _lint_snippet(
+            "from .. import obs\n"
+            "def plan() -> None:\n"
+            "    sp = obs.span('plan.mitigate')\n"
+            "    sp.__enter__()\n"
+        )
+        assert "H2P108" in codes
+        msg = next(f for f in findings if f.code == "H2P108").message
+        assert "with" in msg
+
+    def test_bare_imported_span_flagged(self):
+        codes, _ = _lint_snippet(
+            "from repro.obs import span\n"
+            "def f() -> None:\n"
+            "    sp = span('work')\n"
+        )
+        assert "H2P108" in codes
+
+    def test_with_statement_sanctioned(self):
+        codes, _ = _lint_snippet(
+            "from .. import obs\n"
+            "def plan() -> None:\n"
+            "    with obs.span('plan') as sp:\n"
+            "        sp.set(x=1)\n"
+        )
+        assert "H2P108" not in codes
+
+    def test_conditional_span_inside_with_item_sanctioned(self):
+        # The executor's record-gated pattern: the call stays inside the
+        # with item's context expression.
+        codes, _ = _lint_snippet(
+            "from .. import obs\n"
+            "def run(record: bool) -> None:\n"
+            "    with (obs.span('execute') if record else obs.NULL_SPAN):\n"
+            "        pass\n"
+        )
+        assert "H2P108" not in codes
+
+    def test_unrelated_span_name_unflagged(self):
+        # A local variable/function merely named `span` is not the
+        # obs helper (no obs import brought it in).
+        codes, _ = _lint_snippet(
+            "def span(width: float) -> float:\n"
+            "    return width * 2\n"
+            "def f() -> float:\n"
+            "    return span(3.0)\n"
+        )
+        assert "H2P108" not in codes
+
+    def test_obs_package_itself_exempt(self):
+        codes, _ = _lint_snippet(
+            "def span(name):\n"
+            "    return object()\n"
+            "def helper():\n"
+            "    return span('internal')\n",
+            module="repro.obs.recorder",
+        )
+        assert "H2P108" not in codes
+
+    def test_fixture_tree_flags_span_leak(self, tmp_path):
+        root = tmp_path / "src"
+        bad = root / "repro" / "core" / "leaky.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(
+            "from .. import obs\n"
+            "def plan() -> None:\n"
+            "    sp = obs.span('plan')\n"
+        )
+        findings = lint_paths([root], src_root=root)
+        assert any(f.code == "H2P108" for f in findings)
+        (finding,) = [f for f in findings if f.code == "H2P108"]
+        assert finding.line == 3
+
+
 # ------------------------------------------------------------- layering rule
 
 
@@ -348,6 +425,7 @@ class TestSuppressionAndReporting:
             "H2P104",
             "H2P105",
             "H2P107",
+            "H2P108",
             "H2P201",
         } <= set(RULE_REGISTRY)
 

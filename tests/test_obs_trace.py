@@ -325,5 +325,64 @@ class TestObservabilityCli:
         doc = json.loads(capsys.readouterr().out)
         assert "counters" in doc and "gauges" in doc
 
+    def test_stats_json_stable_schema(self, capsys):
+        code = cli_main(
+            ["stats", "--models", "resnet50,squeezenet", "--json"]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "hetero2pipe.stats.v1"
+        assert {
+            "soc",
+            "models",
+            "repeat",
+            "makespan_ms",
+            "throughput_per_s",
+            "latency",
+            "counters",
+            "gauges",
+            "histograms",
+            "provenance_events",
+        } <= set(doc)
+        latency = doc["latency"]
+        assert {"mean_ms", "p50_ms", "p95_ms", "p99_ms"} <= set(latency)
+        assert (
+            latency["p50_ms"] <= latency["p95_ms"] <= latency["p99_ms"]
+        )
+
+    def test_stats_text_mode_reports_latency_line(self, capsys):
+        code = cli_main(["stats", "--models", "resnet50,squeezenet"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "p95" in out and "p99" in out
+
+    def test_trace_json_stable_schema(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        code = cli_main(
+            [
+                "trace",
+                "--models",
+                "resnet50,squeezenet",
+                "--out",
+                str(out),
+                "--json",
+            ]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "hetero2pipe.trace.v1"
+        assert doc["out"] == str(out)
+        assert out.exists()
+        assert {
+            "soc",
+            "models",
+            "makespan_ms",
+            "planner_spans",
+            "executed_slices",
+            "provenance_events",
+            "flow_arrows",
+        } <= set(doc)
+        assert doc["executed_slices"] > 0
+
     def test_recorder_is_restored_after_cli(self):
         assert not obs.enabled()

@@ -246,6 +246,53 @@ class TestMetricsAndTrace:
         ) / 2
         assert result.mean_latency_ms() == pytest.approx(expected)
 
+    def test_latency_percentiles_interpolate(self, profiler, kirin):
+        plan = make_plan(profiler, kirin, ["vit", "resnet50", "bert"])
+        result = execute_plan(plan)
+        latencies = sorted(
+            result.request_latency_ms(i) for i in range(3)
+        )
+        # Linear interpolation over the sorted sample, numpy-style:
+        # p50 of 3 samples is the middle one, p100/p0 are the extremes.
+        assert result.p50_latency_ms == pytest.approx(latencies[1])
+        assert result.latency_percentile_ms(0.0) == pytest.approx(
+            latencies[0]
+        )
+        assert result.latency_percentile_ms(100.0) == pytest.approx(
+            latencies[-1]
+        )
+        # p75 of 3 samples: rank 1.5 -> halfway between samples 1 and 2.
+        assert result.latency_percentile_ms(75.0) == pytest.approx(
+            (latencies[1] + latencies[2]) / 2
+        )
+
+    def test_latency_percentiles_ordered(self, profiler, kirin):
+        plan = make_plan(
+            profiler, kirin, ["vit", "resnet50", "bert", "yolov4"]
+        )
+        result = execute_plan(plan)
+        assert (
+            result.p50_latency_ms
+            <= result.p95_latency_ms
+            <= result.p99_latency_ms
+            <= result.makespan_ms
+        )
+
+    def test_single_request_percentiles_degenerate(self, profiler, kirin):
+        plan = make_plan(profiler, kirin, ["vit"])
+        result = execute_plan(plan)
+        only = result.request_latency_ms(0)
+        assert result.p50_latency_ms == pytest.approx(only)
+        assert result.p99_latency_ms == pytest.approx(only)
+
+    def test_latency_percentile_validation(self, profiler, kirin):
+        plan = make_plan(profiler, kirin, ["vit"])
+        result = execute_plan(plan)
+        with pytest.raises(ValueError):
+            result.latency_percentile_ms(-1.0)
+        with pytest.raises(ValueError):
+            result.latency_percentile_ms(100.5)
+
     def test_unknown_processor_rejected(self, profiler, kirin):
         from repro.hardware.processor import make_gpu
 

@@ -32,9 +32,12 @@ Subcommands:
   EWMA/CUSUM drift detectors and the replan trigger live; reports every
   ``DriftDetected`` event and drift-triggered replan (``--json`` emits
   ``hetero2pipe.drift.v1``; ``--jsonl`` writes telemetry).
-* ``lint [paths] [--json] [--plans]`` — run the static-analysis
-  subsystem (AST rules, import layering, plan invariants); see
-  ``docs/STATIC_ANALYSIS.md``.
+* ``lint [paths] [--format text|json|sarif] [--plans] [--baseline
+  FILE [--update-baseline]]`` — run the static-analysis subsystem
+  (AST rules, dataflow unit/concurrency rules, import layering, plan
+  invariants); ``--json`` emits ``hetero2pipe.lint.v1``, ``--format
+  sarif`` SARIF 2.1.0, and ``--baseline`` applies the committed
+  ratchet (``.lint-baseline.json``); see ``docs/STATIC_ANALYSIS.md``.
 
 The ``--json`` schemas are documented in docs/OBSERVABILITY.md and kept
 stable for CI/dashboard consumers.

@@ -6,11 +6,17 @@ Three cooperating checkers, all reporting uniform :class:`Finding`\\ s:
   rules in :mod:`repro.lint.rules` — wall-clock bans in simulator
   paths, float-equality bans in scheduling math, frozen-dataclass
   mutation, unit-suffix naming, and ``INFEASIBLE``-sentinel arithmetic;
+* a **dataflow layer** (:mod:`repro.lint.flow`: CFGs, the unit
+  lattice, abstract interpretation) backing the H2P11x unit-dimension
+  rules and the H2P12x concurrency/determinism rules;
 * an **import-layering checker** (rule ``H2P201``) enforcing the
   DESIGN.md package architecture as a DAG;
 * a **plan-invariant linter** (:mod:`repro.lint.plan_invariants`) that
   lifts :func:`repro.core.validate.validate_plan` into a batch sweep
-  over every zoo model x SoC x planner-config combination.
+  over every zoo model x SoC x planner-config combination;
+* a **baseline ratchet** (:mod:`repro.lint.baseline`): committed
+  findings are tolerated, new ones fail, stale entries demand
+  regeneration.
 
 Run it as ``hetero2pipe lint`` or ``python -m repro.lint``; see
 ``docs/STATIC_ANALYSIS.md`` for the rule catalogue and the
@@ -19,30 +25,45 @@ Run it as ``hetero2pipe lint`` or ``python -m repro.lint``; see
 
 from __future__ import annotations
 
+from .baseline import (
+    BASELINE_SCHEMA,
+    BaselineResult,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
 from .engine import (
     Finding,
     LintRule,
     RULE_REGISTRY,
     all_rules,
+    collect_pragmas,
     get_rule,
     lint_file,
     lint_paths,
     register_rule,
 )
-from .reporters import render_json, render_text
+from .reporters import render_json, render_sarif, render_text
 
 # Importing the rule modules registers every rule with the engine.
 from . import rules as _rules  # noqa: F401  (import-for-side-effect)
 
 __all__ = [
+    "BASELINE_SCHEMA",
+    "BaselineResult",
     "Finding",
     "LintRule",
     "RULE_REGISTRY",
     "all_rules",
+    "apply_baseline",
+    "collect_pragmas",
     "get_rule",
     "lint_file",
     "lint_paths",
+    "load_baseline",
     "register_rule",
     "render_json",
+    "render_sarif",
     "render_text",
+    "write_baseline",
 ]

@@ -1,0 +1,158 @@
+"""Baseline ratchet: tolerate committed findings, fail on new ones.
+
+A baseline is a committed JSON file (``hetero2pipe.lint.baseline.v1``)
+recording the findings a repository has consciously decided to live
+with. ``hetero2pipe lint --baseline FILE`` then partitions the current
+findings:
+
+* **matched** — covered by a baseline entry: tolerated, not reported;
+* **new** — not in the baseline (or exceeding a baselined count):
+  reported, non-zero exit. The ratchet only tightens.
+* **stale** — baseline entries nothing matches anymore: also a
+  failure, with instructions to regenerate via ``--update-baseline``.
+  A fixed finding must shrink the committed baseline in the same
+  change, otherwise headroom silently accumulates for new debt
+  (exactly the failure mode that makes ratchets decorative).
+
+Entries are keyed by ``(path, code, message)`` with an occurrence
+count — deliberately **not** by line number, so unrelated edits above
+a baselined finding don't break the ratchet, while a new instance of
+the same finding in the same file still fails once the count grows.
+Paths are stored slash-normalized and relative (the CLI relativizes
+against the working directory) so the file is portable between
+machines and CI.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from .engine import Finding
+
+BASELINE_SCHEMA = "hetero2pipe.lint.baseline.v1"
+
+#: (path, code, message) — the identity of a baselined finding.
+BaselineKey = Tuple[str, str, str]
+
+
+def baseline_key(finding: Finding) -> BaselineKey:
+    return (finding.path, finding.code, finding.message)
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of applying a baseline to a findings list."""
+
+    new: List[Finding] = field(default_factory=list)
+    matched: List[Finding] = field(default_factory=list)
+    stale: List[Dict[str, object]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when the ratchet passes: nothing new, nothing stale."""
+        return not self.new and not self.stale
+
+    def summary(self) -> Dict[str, object]:
+        """The ``baseline`` block of the ``hetero2pipe.lint.v1`` doc."""
+        return {
+            "matched": len(self.matched),
+            "new": len(self.new),
+            "stale": self.stale,
+        }
+
+
+def load_baseline(path: Path) -> "Counter[BaselineKey]":
+    """Read a baseline file into per-key tolerated counts.
+
+    Raises:
+        ValueError: on a wrong schema marker or malformed entries.
+    """
+    document = json.loads(path.read_text(encoding="utf-8"))
+    if document.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"{path}: expected schema {BASELINE_SCHEMA!r}, "
+            f"got {document.get('schema')!r}"
+        )
+    tolerated: Counter[BaselineKey] = Counter()
+    for entry in document.get("entries", []):
+        try:
+            key = (
+                str(entry["path"]),
+                str(entry["code"]),
+                str(entry["message"]),
+            )
+            count = int(entry.get("count", 1))
+        except (KeyError, TypeError) as error:
+            raise ValueError(f"{path}: malformed baseline entry {entry!r}") from error
+        if count < 1:
+            raise ValueError(f"{path}: non-positive count in {entry!r}")
+        tolerated[key] += count
+    return tolerated
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> int:
+    """Write the baseline for the current findings; returns entry count."""
+    counts: Counter[BaselineKey] = Counter(
+        baseline_key(f) for f in findings
+    )
+    entries = [
+        {
+            "path": key[0],
+            "code": key[1],
+            "message": key[2],
+            "count": count,
+        }
+        for key, count in sorted(counts.items())
+    ]
+    document = {"schema": BASELINE_SCHEMA, "entries": entries}
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return len(entries)
+
+
+def apply_baseline(
+    findings: Sequence[Finding],
+    tolerated: "Counter[BaselineKey]",
+) -> BaselineResult:
+    """Partition findings into new vs matched, and surface stale entries.
+
+    Findings beyond a key's tolerated count are new (first N instances
+    match, the rest fail) — the ratchet direction that only tightens.
+    """
+    remaining = Counter(tolerated)
+    result = BaselineResult()
+    for finding in findings:
+        key = baseline_key(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            result.matched.append(finding)
+        else:
+            result.new.append(finding)
+    for key, count in sorted(remaining.items()):
+        if count > 0:
+            result.stale.append(
+                {
+                    "path": key[0],
+                    "code": key[1],
+                    "message": key[2],
+                    "count": count,
+                }
+            )
+    return result
+
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "BaselineKey",
+    "BaselineResult",
+    "apply_baseline",
+    "baseline_key",
+    "load_baseline",
+    "write_baseline",
+]

@@ -6,11 +6,21 @@ the tree to every enabled rule, and filters the produced findings
 through per-line ``# lint: disable=CODE`` pragmas, so a deliberate
 exception is visible at the offending line forever.
 
-Suppression syntax (checked against the finding's line)::
+Suppression syntax (checked against the finding's line range, so a
+pragma on the continuation line of a wrapped expression works)::
 
     t0 = time.time()  # lint: disable=H2P101
     x = a + b         # lint: disable=H2P102,H2P105
     y = c * d         # lint: disable=all
+
+Pragmas are recognized only in real comment tokens (``tokenize``), so
+docstrings and string literals showing the syntax never suppress
+anything.  A pragma that matches no finding is itself reported
+(``H2P109`` — stale suppressions must not accumulate silently), as is
+malformed pragma text; neither runs when a ``--rules`` subset is
+active, since a pragma for an unselected rule would look unused.
+``H2P109`` findings cannot be pragma-suppressed — the fix is deleting
+the stale pragma.
 
 Design notes:
 
@@ -18,34 +28,67 @@ Design notes:
   the engine can lint fixture trees in tests without touching disk;
 * the *relative module path* is computed against a configurable source
   root, which lets tests lint synthetic package layouts under a tmp
-  directory (the layering rule needs real-looking module names).
+  directory (the layering rule needs real-looking module names);
+* findings are sorted by ``(path, line, col, code)`` before reporting,
+  so CI output and baseline diffs are stable across filesystem walk
+  order.
 """
 
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Type
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
 
-#: ``# lint: disable=H2P101`` or ``# lint: disable=H2P101,H2P102`` or
-#: ``# lint: disable=all`` — anywhere in the line's trailing comment.
-_PRAGMA = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_,\s]+)")
+#: ``disable=CODE[,CODE...]`` / ``disable=all`` in a comment token.
+_PRAGMA = re.compile(r"#\s*lint:\s*disable\s*=\s*([A-Za-z0-9_,\s]*)")
+
+#: Any comment that *mentions* the pragma marker, well-formed or not.
+_PRAGMA_MARKER = re.compile(r"#\s*lint\s*:")
+
+#: A valid suppression token: ``all`` or a rule-code shape — starts
+#: with a letter, ends with a digit (``H2P101``). Prose words in a
+#: pragma ("because", "reasons") are reported malformed instead of
+#: silently pretending to suppress.
+_CODE_TOKEN = re.compile(r"^(?:all|[A-Za-z][A-Za-z0-9_]*[0-9])$")
+
+#: Code of the engine-level unused/malformed-suppression findings.
+UNUSED_SUPPRESSION_CODE = "H2P109"
+
+#: Deterministic report order — the contract baselines diff against.
+FINDING_SORT_KEY = "path, line, col, code"
 
 
 @dataclass(frozen=True)
 class Finding:
-    """One rule violation at a source location."""
+    """One rule violation at a source location.
+
+    ``end_line`` is the last physical line of the offending construct
+    (0 means "same as line"); suppression pragmas anywhere in
+    ``[line, end_line]`` match, so wrapped expressions can carry the
+    pragma on the line that actually overflows.
+    """
 
     code: str
     message: str
     path: str
     line: int
     col: int = 0
+    end_line: int = 0
+
+    @property
+    def last_line(self) -> int:
+        return self.end_line if self.end_line >= self.line else self.line
 
     def __str__(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.code)
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -54,6 +97,7 @@ class Finding:
             "path": self.path,
             "line": self.line,
             "col": self.col,
+            "end_line": self.last_line,
         }
 
 
@@ -79,6 +123,23 @@ class LintContext:
         return tuple(self.module.split(".")) if self.module else ()
 
 
+#: Compound statements whose ``end_lineno`` spans their whole body; a
+#: finding anchored at one must not let a pragma deep inside the body
+#: suppress it, so their range collapses to the header line.
+_BLOCK_NODES = (
+    ast.FunctionDef,
+    ast.AsyncFunctionDef,
+    ast.ClassDef,
+    ast.If,
+    ast.For,
+    ast.AsyncFor,
+    ast.While,
+    ast.With,
+    ast.AsyncWith,
+    ast.Try,
+)
+
+
 class LintRule:
     """Base class for AST rules.
 
@@ -96,12 +157,18 @@ class LintRule:
 
     def finding(self, ctx: LintContext, node: ast.AST, message: str) -> Finding:
         """Build a finding anchored at ``node``."""
+        line = getattr(node, "lineno", 1)
+        if isinstance(node, _BLOCK_NODES):
+            end_line = line
+        else:
+            end_line = getattr(node, "end_lineno", None) or line
         return Finding(
             code=self.code,
             message=message,
             path=ctx.path,
-            line=getattr(node, "lineno", 1),
+            line=line,
             col=getattr(node, "col_offset", 0),
+            end_line=end_line,
         )
 
 
@@ -133,25 +200,159 @@ def get_rule(code: str) -> LintRule:
         ) from None
 
 
-def _suppressed_codes(line: str) -> Optional[Sequence[str]]:
-    match = _PRAGMA.search(line)
-    if match is None:
-        return None
-    return tuple(c.strip() for c in match.group(1).split(",") if c.strip())
+# ------------------------------------------------------------- suppression
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One parsed ``# lint: disable=...`` comment."""
+
+    line: int
+    codes: Tuple[str, ...]
+    malformed: Tuple[str, ...] = ()  # invalid tokens (or the whole text)
+
+
+def collect_pragmas(source: str) -> List[Pragma]:
+    """Parse suppression pragmas from *comment tokens only*.
+
+    Tokenizing (rather than regexing raw lines) means pragma examples
+    inside docstrings/strings are inert, and a pragma on the physical
+    continuation line of a wrapped statement is attributed to that
+    line. Codes may be separated by commas and/or spaces; tokens that
+    are neither ``all`` nor letters-then-digits are reported malformed.
+    On tokenize failure (the file will fail ``ast.parse`` too) no
+    pragmas are returned.
+    """
+    pragmas: List[Pragma] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return []
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        comment = token.string
+        if not _PRAGMA_MARKER.search(comment):
+            continue
+        line = token.start[0]
+        match = _PRAGMA.search(comment)
+        if match is None:
+            pragmas.append(
+                Pragma(line=line, codes=(), malformed=(comment.strip(),))
+            )
+            continue
+        raw_tokens = [t for t in re.split(r"[,\s]+", match.group(1)) if t]
+        codes = tuple(t for t in raw_tokens if _CODE_TOKEN.match(t))
+        malformed = tuple(t for t in raw_tokens if not _CODE_TOKEN.match(t))
+        if not raw_tokens:
+            malformed = (comment.strip(),)
+        pragmas.append(Pragma(line=line, codes=codes, malformed=malformed))
+    return pragmas
+
+
+def _suppresses(pragma: Pragma, finding: Finding) -> bool:
+    if not (finding.line <= pragma.line <= finding.last_line):
+        return False
+    return "all" in pragma.codes or finding.code in pragma.codes
 
 
 def apply_suppressions(
-    findings: Iterable[Finding], source_lines: Sequence[str]
+    findings: Iterable[Finding],
+    source_lines: Sequence[str],
+    pragmas: Optional[Sequence[Pragma]] = None,
 ) -> List[Finding]:
-    """Drop findings whose line carries a matching disable pragma."""
+    """Drop findings covered by a matching disable pragma."""
+    if pragmas is None:
+        pragmas = collect_pragmas("\n".join(source_lines) + "\n")
     kept: List[Finding] = []
     for f in findings:
-        if 1 <= f.line <= len(source_lines):
-            codes = _suppressed_codes(source_lines[f.line - 1])
-            if codes is not None and ("all" in codes or f.code in codes):
-                continue
+        if f.code == UNUSED_SUPPRESSION_CODE:
+            kept.append(f)  # never self-suppressible
+            continue
+        if any(_suppresses(p, f) for p in pragmas):
+            continue
         kept.append(f)
     return kept
+
+
+def unused_suppression_findings(
+    findings: Sequence[Finding],
+    pragmas: Sequence[Pragma],
+    path: str,
+) -> List[Finding]:
+    """H2P109 findings for pragmas that match nothing (or parse badly).
+
+    ``findings`` must be the *pre-suppression* list: a pragma is used
+    iff some finding it would suppress exists.
+    """
+    produced: List[Finding] = []
+    for pragma in pragmas:
+        unused: List[str] = []
+        for code in pragma.codes:
+            if code == "all":
+                hit = any(
+                    f.line <= pragma.line <= f.last_line for f in findings
+                )
+            else:
+                hit = any(
+                    f.code == code and f.line <= pragma.line <= f.last_line
+                    for f in findings
+                )
+            if not hit:
+                unused.append(code)
+        if unused:
+            produced.append(
+                Finding(
+                    code=UNUSED_SUPPRESSION_CODE,
+                    message=(
+                        "unused suppression "
+                        f"({', '.join(sorted(unused))}): no matching finding "
+                        "on this line — delete the stale pragma"
+                    ),
+                    path=path,
+                    line=pragma.line,
+                )
+            )
+        if pragma.malformed:
+            produced.append(
+                Finding(
+                    code=UNUSED_SUPPRESSION_CODE,
+                    message=(
+                        "malformed lint pragma "
+                        f"({', '.join(pragma.malformed)}): expected "
+                        "'# lint: disable=CODE[,CODE...]' or "
+                        "'# lint: disable=all'"
+                    ),
+                    path=path,
+                    line=pragma.line,
+                )
+            )
+    return produced
+
+
+@register_rule
+class UnusedSuppressionRule(LintRule):
+    """Catalogue entry for the engine-level H2P109 check.
+
+    The check itself runs in :func:`lint_source` (it needs the other
+    rules' pre-suppression findings, which a per-rule ``check`` never
+    sees); this registration makes the code visible to
+    ``--list-rules``, the SARIF rule table and the docs.
+    """
+
+    code = UNUSED_SUPPRESSION_CODE
+    name = "no-unused-suppressions"
+    rationale = (
+        "a '# lint: disable' pragma that matches no finding is a stale "
+        "exception nobody is using; it hides the next real finding on "
+        "that line (engine-level check; active on full-rule-set runs)"
+    )
+
+    def check(self, tree: ast.Module, ctx: LintContext) -> Iterator[Finding]:
+        return iter(())  # driven by the engine, not the AST walk
+
+
+# ------------------------------------------------------------------ driving
 
 
 def module_name_for(path: Path, src_root: Path) -> str:
@@ -177,6 +378,7 @@ def lint_source(
     rules: Optional[Sequence[LintRule]] = None,
 ) -> List[Finding]:
     """Lint one in-memory source string (the test-friendly core)."""
+    full_rule_set = rules is None
     active = list(rules) if rules is not None else all_rules()
     try:
         tree = ast.parse(source, filename=path)
@@ -195,8 +397,17 @@ def lint_source(
     findings: List[Finding] = []
     for rule in active:
         findings.extend(rule.check(tree, ctx))
-    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
-    return apply_suppressions(findings, lines)
+    pragmas = collect_pragmas(source)
+    if full_rule_set:
+        # Unused-pragma detection needs every rule's findings; with a
+        # --rules subset, a pragma for an unselected rule would look
+        # unused, so the check only runs on full-rule-set passes.
+        findings.extend(
+            unused_suppression_findings(findings, pragmas, path)
+        )
+    kept = apply_suppressions(findings, lines, pragmas)
+    kept.sort(key=Finding.sort_key)
+    return kept
 
 
 def lint_file(
@@ -235,8 +446,14 @@ def lint_paths(
     src_root: Path,
     rules: Optional[Sequence[LintRule]] = None,
 ) -> List[Finding]:
-    """Lint every ``.py`` file under ``paths``; findings sorted by location."""
+    """Lint every ``.py`` file under ``paths``.
+
+    Findings come back sorted by ``(path, line, col, code)`` regardless
+    of filesystem walk order — the stability contract CI output and
+    baseline diffs rely on.
+    """
     findings: List[Finding] = []
     for path in iter_python_files(paths):
         findings.extend(lint_file(path, src_root, rules))
+    findings.sort(key=Finding.sort_key)
     return findings

@@ -1,0 +1,56 @@
+"""``repro.lint.flow`` — dataflow infrastructure for the lint engine.
+
+The H2P1xx rules that shipped with PR 1 are single-node AST matchers:
+they look at one expression and decide. The rule families this package
+backs (unit-dimension inference H2P11x, concurrency/determinism
+readiness H2P12x) need to know how *values travel* — a latency read
+into a local, added three statements later, returned from a branch —
+so the package provides the three classic pieces:
+
+* :mod:`repro.lint.flow.cfg` — intraprocedural control-flow graphs
+  over ``ast`` statements (branches, loops, try/except, early exits);
+* :mod:`repro.lint.flow.lattice` — the unit lattice (ms/us/ns/s, mJ/J,
+  bytes/MB/GB, per-s rates, dimensionless ratio/count, ⊥/⊤) with join
+  and arithmetic transfer rules, inferred from the codebase's
+  ``_ms``/``_mb`` suffix convention (the same one H2P104 enforces);
+* :mod:`repro.lint.flow.analysis` — a generic forward worklist solver
+  plus the :class:`UnitAnalysis` abstract interpretation that the
+  H2P11x rules run per function.
+
+Everything here is pure (no I/O, no globals) so rules stay pure
+functions of ``(tree, context)`` as the engine requires.
+"""
+
+from __future__ import annotations
+
+from .cfg import CFG, BasicBlock, build_cfg
+from .lattice import (
+    Unit,
+    additive_compatible,
+    dimension,
+    is_definite,
+    join,
+    suffix_unit,
+    unit_of_add,
+    unit_of_div,
+    unit_of_mul,
+)
+from .analysis import UnitAnalysis, UnitViolation, run_forward
+
+__all__ = [
+    "CFG",
+    "BasicBlock",
+    "build_cfg",
+    "Unit",
+    "additive_compatible",
+    "dimension",
+    "is_definite",
+    "join",
+    "suffix_unit",
+    "unit_of_add",
+    "unit_of_div",
+    "unit_of_mul",
+    "UnitAnalysis",
+    "UnitViolation",
+    "run_forward",
+]

@@ -1,0 +1,475 @@
+"""Forward dataflow solving and the unit abstract interpretation.
+
+:func:`run_forward` is a standard worklist fixpoint over a
+:class:`~repro.lint.flow.cfg.CFG`: block in-states are joined over all
+predecessors, pushed through a transfer function, and re-queued until
+nothing changes (the unit lattice has height 2, so this converges
+fast; a visit cap guards pathological graphs anyway).
+
+:class:`UnitAnalysis` is the abstract interpretation the H2P11x rules
+run: the state maps local variable names to :class:`Unit`, assignments
+and loop/with bindings propagate, and expression evaluation applies
+the lattice's arithmetic transfer rules. A name read prefers the
+definite unit the dataflow computed, then the suffix convention, so
+``t = makespan_ms`` followed by ``t + size_mb`` is caught even though
+``t`` itself carries no suffix.
+
+Two deliberate precision sacrifices keep false positives out:
+
+* multiplying or dividing by a **numeric literal** yields ⊥ — that is
+  how unit conversions are written (``ns / 1e6``), and the analysis
+  cannot know which constant converts;
+* only *definite vs definite* unit clashes are reported; ⊥/⊤ operands
+  never flag.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from .cfg import CFG, build_cfg
+from .lattice import (
+    Unit,
+    additive_compatible,
+    is_definite,
+    join,
+    suffix_unit,
+    unit_of_add,
+    unit_of_div,
+    unit_of_mul,
+)
+
+#: Abstract state: local variable name -> unit.
+State = Dict[str, Unit]
+
+#: Called on each unit clash: (offending node, operation label, left, right).
+Reporter = Callable[[ast.AST, str, Unit, Unit], None]
+
+
+def join_states(a: State, b: State) -> State:
+    """Pointwise join; a name missing from one side is ⊥ there."""
+    merged: State = dict(a)
+    for name, unit in b.items():
+        merged[name] = join(merged.get(name, Unit.BOTTOM), unit)
+    return merged
+
+
+def states_equal(a: State, b: State) -> bool:
+    keys = set(a) | set(b)
+    return all(
+        a.get(k, Unit.BOTTOM) is b.get(k, Unit.BOTTOM) for k in keys
+    )
+
+
+def run_forward(
+    cfg: CFG,
+    transfer: Callable[[ast.AST, State], State],
+    initial: Optional[State] = None,
+    max_visits: int = 10_000,
+) -> Dict[int, State]:
+    """Worklist fixpoint; returns the in-state of every reachable block."""
+    in_states: Dict[int, State] = {cfg.entry_id: dict(initial or {})}
+    worklist: List[int] = [cfg.entry_id]
+    visits = 0
+    while worklist and visits < max_visits:
+        visits += 1
+        block_id = worklist.pop(0)
+        state = dict(in_states[block_id])
+        for element in cfg.blocks[block_id].elements:
+            state = transfer(element, state)
+        for succ in cfg.blocks[block_id].successors:
+            if succ not in in_states:
+                in_states[succ] = dict(state)
+                worklist.append(succ)
+            else:
+                merged = join_states(in_states[succ], state)
+                if not states_equal(merged, in_states[succ]):
+                    in_states[succ] = merged
+                    if succ not in worklist:
+                        worklist.append(succ)
+    return in_states
+
+
+# --------------------------------------------------------------- units
+
+
+@dataclass(frozen=True)
+class UnitViolation:
+    """One definite unit clash at an arithmetic/comparison site."""
+
+    node: ast.AST
+    operation: str  # "+", "-", "+=", "-=", "<", "==", ...
+    left: Unit
+    right: Unit
+
+
+#: Builtins/attributes that pass their arguments' unit through.
+_UNIT_PRESERVING_CALLS = frozenset(
+    {
+        "min",
+        "max",
+        "sum",
+        "abs",
+        "round",
+        "float",
+        "sorted",
+        "reversed",
+        "list",
+        "tuple",
+        "mean",
+        "median",
+        "fsum",
+        "nansum",
+        "nanmean",
+        "copy",
+        "deepcopy",
+    }
+)
+
+_COUNT_CALLS = frozenset({"len", "range", "count"})
+
+_COMPARE_OPS: Dict[type, str] = {
+    ast.Lt: "<",
+    ast.LtE: "<=",
+    ast.Gt: ">",
+    ast.GtE: ">=",
+    ast.Eq: "==",
+    ast.NotEq: "!=",
+}
+
+
+def _is_numeric_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.USub, ast.UAdd)
+    ):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(
+        node.value, (int, float)
+    ) and not isinstance(node.value, bool)
+
+
+class UnitAnalysis:
+    """Unit inference over one function (or module) body.
+
+    Use :meth:`analyze` — it builds the CFG, seeds parameters from
+    their suffixes, runs the fixpoint, then replays each block from
+    its stable in-state with the reporter attached so every violation
+    is collected exactly once.
+    """
+
+    def __init__(self) -> None:
+        self.violations: List[UnitViolation] = []
+        self.returns: List[Tuple[ast.Return, Unit]] = []
+        self._seen: Set[Tuple[int, int, str]] = set()
+        self._reporting = False
+
+    # -- public driver ------------------------------------------------
+
+    def analyze(
+        self,
+        body: Sequence[ast.stmt],
+        params: Sequence[str] = (),
+    ) -> "UnitAnalysis":
+        cfg = build_cfg(body)
+        initial: State = {
+            name: suffix_unit(name) for name in params
+        }
+        in_states = run_forward(cfg, self.transfer, initial)
+        self._reporting = True
+        for block_id in cfg.reachable_ids():
+            if block_id not in in_states:
+                continue
+            state = dict(in_states[block_id])
+            for element in cfg.blocks[block_id].elements:
+                state = self.transfer(element, state)
+        self._reporting = False
+        return self
+
+    # -- transfer -----------------------------------------------------
+
+    def transfer(self, element: ast.AST, state: State) -> State:
+        state = dict(state)
+        if isinstance(element, ast.expr):
+            self._eval(element, state)
+        elif isinstance(element, ast.Assign):
+            unit = self._eval(element.value, state)
+            for target in element.targets:
+                self._bind(target, unit, state, value=element.value)
+        elif isinstance(element, ast.AnnAssign):
+            if element.value is not None:
+                unit = self._eval(element.value, state)
+                self._bind(element.target, unit, state, value=element.value)
+        elif isinstance(element, ast.AugAssign):
+            left = self._eval(element.target, state)
+            right = self._eval(element.value, state)
+            unit = self._binop_unit(
+                element, element.op, left, right, element.value
+            )
+            self._bind(element.target, unit, state)
+        elif isinstance(element, ast.Return):
+            unit = (
+                self._eval(element.value, state)
+                if element.value is not None
+                else Unit.BOTTOM
+            )
+            if self._reporting:
+                self.returns.append((element, unit))
+        elif isinstance(element, (ast.For, ast.AsyncFor)):
+            unit = self._eval(element.iter, state)
+            self._bind(element.target, unit, state)
+        elif isinstance(element, (ast.With, ast.AsyncWith)):
+            for item in element.items:
+                unit = self._eval(item.context_expr, state)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, unit, state)
+        elif isinstance(element, ast.ExceptHandler):
+            if element.name:
+                state[element.name] = Unit.TOP
+        elif isinstance(element, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            state[element.name] = Unit.BOTTOM
+        elif isinstance(element, ast.ClassDef):
+            state[element.name] = Unit.BOTTOM
+        elif isinstance(element, ast.Delete):
+            for target in element.targets:
+                if isinstance(target, ast.Name):
+                    state.pop(target.id, None)
+        elif isinstance(element, ast.Assert):
+            self._eval(element.test, state)
+        elif isinstance(element, ast.Expr):
+            self._eval(element.value, state)
+        elif isinstance(element, ast.Raise):
+            if element.exc is not None:
+                self._eval(element.exc, state)
+        return state
+
+    def _bind(
+        self,
+        target: ast.expr,
+        unit: Unit,
+        state: State,
+        value: Optional[ast.expr] = None,
+    ) -> None:
+        if isinstance(target, ast.Name):
+            state[target.id] = unit
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            elts = list(target.elts)
+            if (
+                value is not None
+                and isinstance(value, (ast.Tuple, ast.List))
+                and len(value.elts) == len(elts)
+            ):
+                for sub_target, sub_value in zip(elts, value.elts):
+                    self._bind(
+                        sub_target,
+                        self._eval(sub_value, state),
+                        state,
+                        value=sub_value,
+                    )
+            else:
+                for sub_target in elts:
+                    self._bind(sub_target, Unit.BOTTOM, state)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, Unit.BOTTOM, state)
+        # Attribute / Subscript stores: reads re-derive from suffixes.
+
+    # -- expression evaluation ---------------------------------------
+
+    def _eval(self, node: ast.expr, state: State) -> Unit:
+        if isinstance(node, ast.Constant):
+            return Unit.BOTTOM
+        if isinstance(node, ast.Name):
+            return self._name_unit(node.id, state)
+        if isinstance(node, ast.Attribute):
+            self._eval(node.value, state)
+            return suffix_unit(node.attr)
+        if isinstance(node, ast.Subscript):
+            self._eval_slice(node.slice, state)
+            return self._eval(node.value, state)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, state)
+        if isinstance(node, ast.BinOp):
+            left = self._eval(node.left, state)
+            right = self._eval(node.right, state)
+            return self._binop_unit(node, node.op, left, right, node.right)
+        if isinstance(node, ast.UnaryOp):
+            unit = self._eval(node.operand, state)
+            if isinstance(node.op, (ast.USub, ast.UAdd)):
+                return unit
+            return Unit.BOTTOM
+        if isinstance(node, ast.BoolOp):
+            units = [self._eval(v, state) for v in node.values]
+            result = Unit.BOTTOM
+            for unit in units:
+                result = join(result, unit)
+            return result
+        if isinstance(node, ast.Compare):
+            self._eval_compare(node, state)
+            return Unit.BOTTOM
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test, state)
+            return join(
+                self._eval(node.body, state), self._eval(node.orelse, state)
+            )
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            result = Unit.BOTTOM
+            for elt in node.elts:
+                result = join(result, self._eval(elt, state))
+            return result
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if key is not None:
+                    self._eval(key, state)
+            for value in node.values:
+                self._eval(value, state)
+            return Unit.BOTTOM
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            return self._eval_comprehension(node, node.elt, state)
+        if isinstance(node, ast.DictComp):
+            self._eval_comprehension(node, node.value, state)
+            return Unit.BOTTOM
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value, state)
+        if isinstance(node, ast.Await):
+            return self._eval(node.value, state)
+        if isinstance(node, ast.NamedExpr):
+            unit = self._eval(node.value, state)
+            self._bind(node.target, unit, state)
+            return unit
+        if isinstance(node, ast.JoinedStr):
+            for value in node.values:
+                if isinstance(value, ast.FormattedValue):
+                    self._eval(value.value, state)
+            return Unit.BOTTOM
+        if isinstance(node, ast.Lambda):
+            return Unit.BOTTOM
+        return Unit.BOTTOM
+
+    def _name_unit(self, name: str, state: State) -> Unit:
+        computed = state.get(name, Unit.BOTTOM)
+        if is_definite(computed):
+            return computed
+        inferred = suffix_unit(name)
+        if is_definite(inferred):
+            return inferred
+        return computed
+
+    def _eval_slice(self, node: ast.expr, state: State) -> None:
+        if isinstance(node, ast.Slice):
+            for part in (node.lower, node.upper, node.step):
+                if part is not None:
+                    self._eval(part, state)
+        else:
+            self._eval(node, state)
+
+    def _eval_call(self, node: ast.Call, state: State) -> Unit:
+        arg_units = [self._eval(arg, state) for arg in node.args]
+        for keyword in node.keywords:
+            self._eval(keyword.value, state)
+
+        func = node.func
+        func_name = ""
+        if isinstance(func, ast.Name):
+            func_name = func.id
+        elif isinstance(func, ast.Attribute):
+            func_name = func.attr
+            self._eval(func.value, state)
+        else:
+            self._eval(func, state)
+
+        lowered = func_name.lower()
+        if lowered in _COUNT_CALLS:
+            return Unit.COUNT
+        if lowered in _UNIT_PRESERVING_CALLS:
+            result = Unit.BOTTOM
+            for unit in arg_units:
+                result = join(result, unit)
+            return result
+        return suffix_unit(func_name)
+
+    def _eval_compare(self, node: ast.Compare, state: State) -> None:
+        left_unit = self._eval(node.left, state)
+        for op, comparator in zip(node.ops, node.comparators):
+            right_unit = self._eval(comparator, state)
+            label = _COMPARE_OPS.get(type(op))
+            if label is not None and not additive_compatible(
+                left_unit, right_unit
+            ):
+                self._report(node, label, left_unit, right_unit)
+            left_unit = right_unit
+
+    def _binop_unit(
+        self,
+        node: ast.AST,
+        op: ast.operator,
+        left: Unit,
+        right: Unit,
+        right_node: Optional[ast.expr] = None,
+    ) -> Unit:
+        if isinstance(op, (ast.Add, ast.Sub)):
+            if not additive_compatible(left, right):
+                label = "+" if isinstance(op, ast.Add) else "-"
+                if isinstance(node, ast.AugAssign):
+                    label += "="
+                self._report(node, label, left, right)
+            return unit_of_add(left, right)
+        if isinstance(op, ast.Mult):
+            if right_node is not None and (
+                _is_numeric_literal(right_node)
+                or (
+                    isinstance(node, ast.BinOp)
+                    and _is_numeric_literal(node.left)
+                )
+            ):
+                # Multiplying by a bare constant is how unit
+                # conversions are spelled (ms * 1000); stay agnostic.
+                return Unit.BOTTOM
+            return unit_of_mul(left, right)
+        if isinstance(op, (ast.Div, ast.FloorDiv)):
+            if right_node is not None and _is_numeric_literal(right_node):
+                return Unit.BOTTOM  # ns / 1e6 — a conversion, not a share
+            return unit_of_div(left, right)
+        if isinstance(op, ast.Mod):
+            return left
+        return Unit.BOTTOM
+
+    def _report(
+        self, node: ast.AST, operation: str, left: Unit, right: Unit
+    ) -> None:
+        if not self._reporting:
+            return
+        key = (
+            getattr(node, "lineno", 0),
+            getattr(node, "col_offset", 0),
+            f"{left}{operation}{right}",
+        )
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.violations.append(
+            UnitViolation(node=node, operation=operation, left=left, right=right)
+        )
+
+    def _eval_comprehension(
+        self,
+        node: ast.expr,
+        result_expr: ast.expr,
+        state: State,
+    ) -> Unit:
+        local = dict(state)
+        for comp in getattr(node, "generators", []):
+            iter_unit = self._eval(comp.iter, local)
+            self._bind(comp.target, iter_unit, local)
+            for condition in comp.ifs:
+                self._eval(condition, local)
+        return self._eval(result_expr, local)
+
+
+__all__ = [
+    "State",
+    "UnitAnalysis",
+    "UnitViolation",
+    "join_states",
+    "run_forward",
+]

@@ -1,0 +1,285 @@
+"""Intraprocedural control-flow graphs over ``ast`` statements.
+
+:func:`build_cfg` lowers one function body (or a module body) into
+basic blocks connected by control edges. Blocks hold *elements* — the
+simple statements plus, for compound statements, just the piece a
+dataflow transfer function must see:
+
+* ``if``/``while`` contribute their **test expression** to the block
+  that evaluates it; their bodies become successor blocks;
+* ``for`` and ``with`` contribute the **statement node itself** (the
+  transfer function binds the loop target / context variable without
+  recursing into the body — the body is its own block chain);
+* ``try`` bodies, handlers, ``else`` and ``finally`` are separate
+  block chains, with conservative exception edges (an exception may
+  fire before any body statement, so the pre-``try`` block also feeds
+  every handler);
+* ``return``/``raise`` edge to the synthetic exit block,
+  ``break``/``continue`` to the enclosing loop's after/header block.
+
+Nested function and class definitions are elements too (a transfer
+function may bind their name) but are never descended into — rules
+analyze each function separately.
+
+The graph is deliberately an over-approximation (every ``while`` may
+exit, every ``try`` body may complete): extra edges only *join* more
+states, which in the unit lattice means fewer reported violations,
+never more. Precision costs recall, not false positives.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class BasicBlock:
+    """One straight-line run of elements plus its control successors."""
+
+    block_id: int
+    elements: List[ast.AST] = field(default_factory=list)
+    successors: List[int] = field(default_factory=list)
+
+    def add_successor(self, block_id: int) -> None:
+        if block_id not in self.successors:
+            self.successors.append(block_id)
+
+
+@dataclass
+class CFG:
+    """Basic blocks keyed by id, with distinguished entry and exit."""
+
+    blocks: Dict[int, BasicBlock]
+    entry_id: int
+    exit_id: int
+
+    @property
+    def entry(self) -> BasicBlock:
+        return self.blocks[self.entry_id]
+
+    @property
+    def exit(self) -> BasicBlock:
+        return self.blocks[self.exit_id]
+
+    def reachable_ids(self) -> List[int]:
+        """Block ids reachable from the entry, in visit order."""
+        seen = {self.entry_id}
+        order = [self.entry_id]
+        stack = [self.entry_id]
+        while stack:
+            for succ in self.blocks[stack.pop()].successors:
+                if succ not in seen:
+                    seen.add(succ)
+                    order.append(succ)
+                    stack.append(succ)
+        return order
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self._blocks: Dict[int, BasicBlock] = {}
+        self._next_id = 0
+        self.exit_block = self.new_block()
+        # (header_block_id, after_block_id) per enclosing loop.
+        self._loops: List[Tuple[int, int]] = []
+
+    def new_block(self) -> BasicBlock:
+        block = BasicBlock(block_id=self._next_id)
+        self._blocks[self._next_id] = block
+        self._next_id += 1
+        return block
+
+    def finish(self, entry: BasicBlock) -> CFG:
+        return CFG(
+            blocks=self._blocks,
+            entry_id=entry.block_id,
+            exit_id=self.exit_block.block_id,
+        )
+
+    # -- statement lowering -------------------------------------------
+
+    def build_stmts(
+        self, stmts: Sequence[ast.stmt], current: Optional[BasicBlock]
+    ) -> Optional[BasicBlock]:
+        """Lower ``stmts`` starting in ``current``.
+
+        Returns the block that control falls out of, or ``None`` when
+        every path diverted (return/raise/break/continue). Statements
+        after a divert are unreachable and lowered into an orphan block
+        so the tree stays covered, but no edge leads there.
+        """
+        for stmt in stmts:
+            if current is None:
+                current = self.new_block()  # unreachable continuation
+            current = self._build_stmt(stmt, current)
+        return current
+
+    def _build_stmt(
+        self, stmt: ast.stmt, current: BasicBlock
+    ) -> Optional[BasicBlock]:
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            current.elements.append(stmt)
+            current.add_successor(self.exit_block.block_id)
+            return None
+        if isinstance(stmt, ast.Break):
+            if self._loops:
+                current.add_successor(self._loops[-1][1])
+            return None
+        if isinstance(stmt, ast.Continue):
+            if self._loops:
+                current.add_successor(self._loops[-1][0])
+            return None
+        if isinstance(stmt, ast.If):
+            return self._build_if(stmt, current)
+        if isinstance(stmt, ast.While):
+            return self._build_loop(stmt, current, header_element=stmt.test)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._build_loop(stmt, current, header_element=stmt)
+        if isinstance(stmt, ast.Try):
+            return self._build_try(stmt, current)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            current.elements.append(stmt)
+            return self.build_stmts(stmt.body, current)
+        match_type = getattr(ast, "Match", None)
+        if match_type is not None and isinstance(stmt, match_type):
+            return self._build_match(stmt, current)
+        # Simple statements (and nested defs, never descended into).
+        current.elements.append(stmt)
+        return current
+
+    def _build_if(
+        self, stmt: ast.If, current: BasicBlock
+    ) -> Optional[BasicBlock]:
+        current.elements.append(stmt.test)
+        after = self.new_block()
+        live = False
+
+        then_entry = self.new_block()
+        current.add_successor(then_entry.block_id)
+        then_exit = self.build_stmts(stmt.body, then_entry)
+        if then_exit is not None:
+            then_exit.add_successor(after.block_id)
+            live = True
+
+        if stmt.orelse:
+            else_entry = self.new_block()
+            current.add_successor(else_entry.block_id)
+            else_exit = self.build_stmts(stmt.orelse, else_entry)
+            if else_exit is not None:
+                else_exit.add_successor(after.block_id)
+                live = True
+        else:
+            current.add_successor(after.block_id)
+            live = True
+        return after if live else None
+
+    def _build_loop(
+        self,
+        stmt: ast.stmt,
+        current: BasicBlock,
+        header_element: ast.AST,
+    ) -> BasicBlock:
+        header = self.new_block()
+        header.elements.append(header_element)
+        current.add_successor(header.block_id)
+        after = self.new_block()
+
+        body_entry = self.new_block()
+        header.add_successor(body_entry.block_id)
+        self._loops.append((header.block_id, after.block_id))
+        body = getattr(stmt, "body", [])
+        body_exit = self.build_stmts(body, body_entry)
+        self._loops.pop()
+        if body_exit is not None:
+            body_exit.add_successor(header.block_id)
+
+        orelse = getattr(stmt, "orelse", [])
+        if orelse:
+            else_entry = self.new_block()
+            header.add_successor(else_entry.block_id)
+            else_exit = self.build_stmts(orelse, else_entry)
+            if else_exit is not None:
+                else_exit.add_successor(after.block_id)
+        else:
+            header.add_successor(after.block_id)
+        return after
+
+    def _build_try(
+        self, stmt: ast.Try, current: BasicBlock
+    ) -> Optional[BasicBlock]:
+        after = self.new_block()
+        live_exits: List[BasicBlock] = []
+
+        body_entry = self.new_block()
+        current.add_successor(body_entry.block_id)
+        body_exit = self.build_stmts(stmt.body, body_entry)
+
+        # An exception may fire before any body statement ran, so both
+        # the pre-try state and the post-body state feed every handler.
+        for handler in stmt.handlers:
+            handler_entry = self.new_block()
+            handler_entry.elements.append(handler)
+            current.add_successor(handler_entry.block_id)
+            if body_exit is not None:
+                body_exit.add_successor(handler_entry.block_id)
+            handler_exit = self.build_stmts(handler.body, handler_entry)
+            if handler_exit is not None:
+                live_exits.append(handler_exit)
+
+        if body_exit is not None:
+            if stmt.orelse:
+                else_entry = self.new_block()
+                body_exit.add_successor(else_entry.block_id)
+                else_exit = self.build_stmts(stmt.orelse, else_entry)
+                if else_exit is not None:
+                    live_exits.append(else_exit)
+            else:
+                live_exits.append(body_exit)
+
+        if stmt.finalbody:
+            final_entry = self.new_block()
+            for block in live_exits:
+                block.add_successor(final_entry.block_id)
+            if not live_exits:
+                current.add_successor(final_entry.block_id)
+            final_exit = self.build_stmts(stmt.finalbody, final_entry)
+            if final_exit is None:
+                return None
+            final_exit.add_successor(after.block_id)
+            return after
+
+        if not live_exits:
+            return None
+        for block in live_exits:
+            block.add_successor(after.block_id)
+        return after
+
+    def _build_match(
+        self, stmt: ast.AST, current: BasicBlock
+    ) -> Optional[BasicBlock]:
+        current.elements.append(stmt.subject)  # type: ignore[attr-defined]
+        after = self.new_block()
+        current.add_successor(after.block_id)  # no case may match
+        live = True
+        for case in stmt.cases:  # type: ignore[attr-defined]
+            case_entry = self.new_block()
+            current.add_successor(case_entry.block_id)
+            case_exit = self.build_stmts(case.body, case_entry)
+            if case_exit is not None:
+                case_exit.add_successor(after.block_id)
+        return after if live else None
+
+
+def build_cfg(body: Sequence[ast.stmt]) -> CFG:
+    """Lower a statement list (function or module body) into a CFG."""
+    builder = _Builder()
+    entry = builder.new_block()
+    tail = builder.build_stmts(body, entry)
+    if tail is not None:
+        tail.add_successor(builder.exit_block.block_id)
+    return builder.finish(entry)
+
+
+__all__ = ["BasicBlock", "CFG", "build_cfg"]

@@ -1,0 +1,213 @@
+"""The unit lattice: physical dimensions carried by suffix convention.
+
+The codebase's only unit system is the name suffix (``makespan_ms``,
+``total_mj``, ``size_mb``, ``throughput_per_s`` — see rule H2P104 and
+DESIGN.md). This module turns that convention into an abstract domain
+the dataflow analysis can compute over:
+
+* :class:`Unit` — one element per recognized unit, plus ``BOTTOM``
+  (no information yet: literals, fresh values) and ``TOP`` (conflicting
+  or unknowable information). ``BOTTOM <= unit <= TOP``.
+* :func:`suffix_unit` — longest-suffix name inference (``_per_s``
+  before ``_s``, ``_mhz`` before ``_hz``).
+* transfer rules for arithmetic: addition/subtraction/comparison demand
+  the same unit (the Eq. 1 bug class: slowdown *ratios* are multiplied
+  into milliseconds, never added to them); multiplication by a ratio or
+  count preserves the unit; dividing like by like yields a ratio.
+
+The design is deliberately conservative: a violation is only ever
+reported when *both* operands carry a definite, contradictory unit —
+``TOP`` and ``BOTTOM`` never flag, so imprecision costs recall, not
+false positives.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional, Tuple
+
+
+class Unit(enum.Enum):
+    """One element of the unit lattice (value is the display name)."""
+
+    BOTTOM = "?"  # no information (literals, unbound names)
+    MS = "ms"
+    US = "us"
+    NS = "ns"
+    S = "s"
+    MJ = "mJ"
+    J = "J"
+    MW = "mW"
+    W = "W"
+    HZ = "Hz"
+    MHZ = "MHz"
+    GHZ = "GHz"
+    BYTES = "bytes"
+    MB = "MB"
+    GB = "GB"
+    PER_S = "per-s"
+    RATIO = "ratio"
+    COUNT = "count"
+    TOP = "unknown"  # conflicting information
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Physical dimension of each definite unit; ``ratio`` and ``count``
+#: share the dimensionless dimension (adding them is tolerated).
+_DIMENSIONS: Dict[Unit, str] = {
+    Unit.MS: "time",
+    Unit.US: "time",
+    Unit.NS: "time",
+    Unit.S: "time",
+    Unit.MJ: "energy",
+    Unit.J: "energy",
+    Unit.MW: "power",
+    Unit.W: "power",
+    Unit.HZ: "frequency",
+    Unit.MHZ: "frequency",
+    Unit.GHZ: "frequency",
+    Unit.BYTES: "data",
+    Unit.MB: "data",
+    Unit.GB: "data",
+    Unit.PER_S: "rate",
+    Unit.RATIO: "dimensionless",
+    Unit.COUNT: "dimensionless",
+}
+
+#: Name suffix -> unit, matched longest-first so ``_per_s`` wins over
+#: ``_s`` and ``_mhz`` over ``_hz``. Mirrors H2P104's suffix list.
+_SUFFIX_UNITS: Tuple[Tuple[str, Unit], ...] = tuple(
+    sorted(
+        [
+            ("_ms", Unit.MS),
+            ("_us", Unit.US),
+            ("_ns", Unit.NS),
+            ("_s", Unit.S),
+            ("_mj", Unit.MJ),
+            ("_j", Unit.J),
+            ("_mw", Unit.MW),
+            ("_w", Unit.W),
+            ("_hz", Unit.HZ),
+            ("_mhz", Unit.MHZ),
+            ("_ghz", Unit.GHZ),
+            ("_bytes", Unit.BYTES),
+            ("_mb", Unit.MB),
+            ("_gb", Unit.GB),
+            ("_per_s", Unit.PER_S),
+            ("_pct", Unit.RATIO),
+            ("_frac", Unit.RATIO),
+            ("_ratio", Unit.RATIO),
+            ("_x", Unit.RATIO),
+            ("_factor", Unit.RATIO),
+            ("_count", Unit.COUNT),
+        ],
+        key=lambda pair: len(pair[0]),
+        reverse=True,
+    )
+)
+
+
+def suffix_unit(name: str) -> Unit:
+    """Infer a unit from a name's suffix (``BOTTOM`` when none matches)."""
+    lowered = name.lower()
+    for suffix, unit in _SUFFIX_UNITS:
+        if lowered.endswith(suffix):
+            return unit
+    return Unit.BOTTOM
+
+
+def is_definite(unit: Unit) -> bool:
+    """True for real units; ``BOTTOM``/``TOP`` carry no commitment."""
+    return unit not in (Unit.BOTTOM, Unit.TOP)
+
+
+def dimension(unit: Unit) -> Optional[str]:
+    """Physical dimension of a definite unit (None for ⊥/⊤)."""
+    return _DIMENSIONS.get(unit)
+
+
+def join(a: Unit, b: Unit) -> Unit:
+    """Least upper bound: ⊥ is identity, disagreement goes to ⊤."""
+    if a is Unit.BOTTOM:
+        return b
+    if b is Unit.BOTTOM:
+        return a
+    if a is b:
+        return a
+    return Unit.TOP
+
+
+def additive_compatible(a: Unit, b: Unit) -> bool:
+    """May ``a + b`` / ``a - b`` / ``a < b`` proceed without complaint?
+
+    Only a *definite vs definite* mismatch is incompatible; dimensionless
+    units (ratio, count) mix freely with each other but not with
+    dimensional quantities (``utilization_frac + makespan_ms`` is
+    exactly the bug the rule exists for). Same-dimension different-unit
+    pairs (``ms`` vs ``s``) are incompatible too — silent scale mixing
+    is the historical bug class DESIGN.md warns about.
+    """
+    if not is_definite(a) or not is_definite(b):
+        return True
+    if a is b:
+        return True
+    return dimension(a) == "dimensionless" and dimension(b) == "dimensionless"
+
+
+def unit_of_add(a: Unit, b: Unit) -> Unit:
+    """Result unit of ``a + b`` (callers check compatibility first)."""
+    if not additive_compatible(a, b):
+        return Unit.TOP
+    return join(a, b)
+
+
+def unit_of_mul(a: Unit, b: Unit) -> Unit:
+    """Result unit of ``a * b``.
+
+    Scaling by a dimensionless factor (ratio/count) or an uncommitted
+    value preserves the unit — ``latency_ms * slowdown_x`` stays ms,
+    which is the paper's Eq. 1 in one line. Two dimensional operands
+    produce ⊤ (``ms * ms`` is not a quantity this codebase names).
+    """
+    if a is Unit.BOTTOM:
+        return b
+    if b is Unit.BOTTOM:
+        return a
+    if dimension(a) == "dimensionless":
+        return b
+    if dimension(b) == "dimensionless":
+        return a
+    return Unit.TOP
+
+
+def unit_of_div(a: Unit, b: Unit) -> Unit:
+    """Result unit of ``a / b``.
+
+    Like-by-like division yields a ratio (``bubble_ms / makespan_ms``);
+    dividing by a dimensionless factor or an uncommitted value keeps
+    the numerator's unit; anything else is ⊤.
+    """
+    if b is Unit.BOTTOM:
+        return a
+    if is_definite(a) and a is b:
+        return Unit.RATIO
+    if dimension(b) == "dimensionless":
+        return a
+    if a is Unit.BOTTOM:
+        return Unit.BOTTOM
+    return Unit.TOP
+
+
+__all__ = [
+    "Unit",
+    "suffix_unit",
+    "is_definite",
+    "dimension",
+    "join",
+    "additive_compatible",
+    "unit_of_add",
+    "unit_of_mul",
+    "unit_of_div",
+]

@@ -1,0 +1,195 @@
+"""H2P120 — no blocking calls reachable inside ``async def``.
+
+The ROADMAP's next tentpole is ``repro.serve``: an asyncio front-end
+multiplexing thousands of client streams onto the planner. Puzzle
+(PAPERS.md) serves multiple models from one event loop — and a single
+synchronous ``time.sleep``/file read/``subprocess`` call inside a
+coroutine stalls *every* stream at once, invalidating each measured
+percentile while looking perfectly correct in unit tests. This rule is
+the guardrail that lands *before* the server does: any blocking call
+lexically reachable inside an ``async def`` (outside nested synchronous
+functions, which run wherever their caller puts them) is flagged, with
+the non-blocking alternative in the message.
+
+Flagged shapes, aliases honoured:
+
+* ``time.sleep(...)`` (→ ``await asyncio.sleep``)
+* ``subprocess.run/call/check_output/Popen/...``, ``os.system``,
+  ``os.popen`` (→ ``asyncio.create_subprocess_exec``)
+* ``open(...)``, ``Path.read_text/read_bytes/write_text/write_bytes``
+  (→ ``loop.run_in_executor`` / a thread off the loop)
+* ``socket.create_connection``, ``urllib.request.urlopen``,
+  ``requests.<verb>`` (→ an async client or ``run_in_executor``)
+
+Passing a blocking function *as a value* (``run_in_executor(None,
+time.sleep, 1)``) is the sanctioned escape hatch and is not a call, so
+it never flags.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..engine import Finding, LintContext, LintRule, register_rule
+
+#: (module, attribute) -> suggested replacement.
+_BLOCKING_ATTRS: Dict[Tuple[str, str], str] = {
+    ("time", "sleep"): "await asyncio.sleep(...)",
+    ("os", "system"): "asyncio.create_subprocess_shell(...)",
+    ("os", "popen"): "asyncio.create_subprocess_shell(...)",
+    ("os", "waitpid"): "asyncio child-process APIs",
+    ("socket", "create_connection"): "asyncio.open_connection(...)",
+    ("requests", "get"): "an async HTTP client or run_in_executor",
+    ("requests", "post"): "an async HTTP client or run_in_executor",
+    ("requests", "request"): "an async HTTP client or run_in_executor",
+    ("urllib.request", "urlopen"): "an async HTTP client or run_in_executor",
+}
+
+#: Any attribute call on these modules blocks (process spawning waits).
+_BLOCKING_MODULES: Dict[str, str] = {
+    "subprocess": "asyncio.create_subprocess_exec(...)",
+}
+
+#: Method names that do synchronous file IO wherever their object came
+#: from (pathlib.Path in this codebase).
+_BLOCKING_METHODS: Dict[str, str] = {
+    "read_text": "loop.run_in_executor(...) for file IO",
+    "write_text": "loop.run_in_executor(...) for file IO",
+    "read_bytes": "loop.run_in_executor(...) for file IO",
+    "write_bytes": "loop.run_in_executor(...) for file IO",
+}
+
+
+def _import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Bound name -> dotted module, for ``import x [as y]`` forms."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+                else:
+                    # ``import urllib.request`` binds ``urllib``; the
+                    # call site spells the rest of the chain itself.
+                    root = alias.name.split(".")[0]
+                    aliases[root] = root
+    return aliases
+
+
+def _from_import_aliases(tree: ast.Module) -> Dict[str, Tuple[str, str]]:
+    """Bound name -> (module, attr) for ``from x import y [as z]``."""
+    aliases: Dict[str, Tuple[str, str]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                aliases[alias.asname or alias.name] = (node.module, alias.name)
+    return aliases
+
+
+def _dotted(node: ast.expr) -> Optional[str]:
+    """``a.b.c`` attribute chain as a dotted string (None otherwise)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class _AsyncBodyVisitor(ast.NodeVisitor):
+    """Collect blocking calls inside one async body, skipping nested
+    synchronous function/lambda scopes (those run off the loop if the
+    caller says so — flagging them would punish the escape hatch)."""
+
+    def __init__(self) -> None:
+        self.calls: List[ast.Call] = []
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        return  # sync scope: not on the event loop by construction
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        return
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        return  # nested coroutine gets its own visit from the rule
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self.calls.append(node)
+        self.generic_visit(node)
+
+
+@register_rule
+class AsyncBlockingCallRule(LintRule):
+    code = "H2P120"
+    name = "no-blocking-calls-in-async"
+    rationale = (
+        "one sync sleep/IO/subprocess call inside a coroutine stalls "
+        "every stream on the event loop and silently corrupts all "
+        "serving percentiles (the repro.serve guardrail)"
+    )
+
+    def check(self, tree: ast.Module, ctx: LintContext) -> Iterator[Finding]:
+        parts = ctx.package_parts
+        if parts and parts[0] != "repro":
+            return
+        module_aliases = _import_aliases(tree)
+        from_aliases = _from_import_aliases(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            visitor = _AsyncBodyVisitor()
+            for stmt in node.body:
+                visitor.visit(stmt)
+            for call in visitor.calls:
+                hit = self._classify(call, module_aliases, from_aliases)
+                if hit is not None:
+                    blocked, suggestion = hit
+                    yield self.finding(
+                        ctx,
+                        call,
+                        f"blocking call {blocked!r} inside async def "
+                        f"{node.name!r} stalls the event loop; use "
+                        f"{suggestion}",
+                    )
+
+    def _classify(
+        self,
+        call: ast.Call,
+        module_aliases: Dict[str, str],
+        from_aliases: Dict[str, Tuple[str, str]],
+    ) -> Optional[Tuple[str, str]]:
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id == "open":
+                return ("open", "loop.run_in_executor(...) for file IO")
+            origin = from_aliases.get(func.id)
+            if origin is not None:
+                module, attr = origin
+                if (module, attr) in _BLOCKING_ATTRS:
+                    return (
+                        f"{module}.{attr}",
+                        _BLOCKING_ATTRS[(module, attr)],
+                    )
+                if module in _BLOCKING_MODULES:
+                    return (
+                        f"{module}.{attr}",
+                        _BLOCKING_MODULES[module],
+                    )
+            return None
+        if isinstance(func, ast.Attribute):
+            dotted = _dotted(func)
+            if dotted is not None and "." in dotted:
+                head, _, rest = dotted.partition(".")
+                module = module_aliases.get(head, head)
+                full = f"{module}.{rest}" if rest else module
+                mod_part, _, attr_part = full.rpartition(".")
+                if (mod_part, attr_part) in _BLOCKING_ATTRS:
+                    return (full, _BLOCKING_ATTRS[(mod_part, attr_part)])
+                if mod_part in _BLOCKING_MODULES:
+                    return (full, _BLOCKING_MODULES[mod_part])
+            if func.attr in _BLOCKING_METHODS:
+                return (f".{func.attr}()", _BLOCKING_METHODS[func.attr])
+        return None

@@ -1,0 +1,388 @@
+"""H2P121/H2P122 — determinism readiness for simulator/planner paths.
+
+DESIGN.md promises bit-for-bit reproducible experiments, and the
+pipeline-partitioning guarantees this repo computes (Archer et al.,
+PAPERS.md) are only as trustworthy as the deterministic simulation
+they are computed over. Two bug classes break that silently:
+
+* **H2P121 — unseeded randomness.** ``np.random.default_rng()`` /
+  ``random.Random()`` constructed without an injected seed, or any use
+  of the process-global RNGs (``random.random()``,
+  ``np.random.rand()``, ``random.seed()``...), makes a run
+  unreproducible — and, worse for the coming event-driven executor
+  refactor, makes two "identical" simulations diverge. Constructing an
+  RNG *with* an argument is fine (the seed is injectable); the global
+  RNG never is. Scope: ``core``, ``runtime``, ``workloads``,
+  ``baselines`` — every package that feeds the simulator.
+
+* **H2P122 — module-level mutable state written from functions.**
+  A library function that mutates a module-global container (appends
+  to a module list, writes a module dict, declares ``global``) couples
+  independent simulations run in one process — exactly what the
+  fleet-scale / multi-tenant serving items on the ROADMAP will do.
+  Module-level initialization (registry population at import time) is
+  untouched; only *function bodies* writing module state flag. Scope:
+  ``core`` and ``runtime``, the two packages the planner re-enters.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..engine import Finding, LintContext, LintRule, register_rule
+
+#: Packages (second dotted component) swept for unseeded randomness.
+RNG_PACKAGES = ("core", "runtime", "workloads", "baselines")
+
+#: Packages swept for module-state writes.
+MODULE_STATE_PACKAGES = ("core", "runtime")
+
+#: Attributes of the ``random`` module that use the process-global RNG.
+_GLOBAL_RANDOM_ATTRS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "uniform",
+        "choice",
+        "choices",
+        "sample",
+        "shuffle",
+        "gauss",
+        "normalvariate",
+        "expovariate",
+        "betavariate",
+        "triangular",
+        "seed",
+        "getrandbits",
+    }
+)
+
+#: Attributes of ``numpy.random`` that use the process-global RNG.
+_GLOBAL_NP_RANDOM_ATTRS = frozenset(
+    {
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "choice",
+        "uniform",
+        "normal",
+        "poisson",
+        "exponential",
+        "shuffle",
+        "permutation",
+        "seed",
+    }
+)
+
+#: Container mutators whose receiver being a module global flags.
+_MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+        "appendleft",
+        "extendleft",
+    }
+)
+
+#: Module-level value shapes that count as mutable containers.
+_MUTABLE_FACTORIES = frozenset(
+    {"list", "dict", "set", "defaultdict", "deque", "OrderedDict", "Counter"}
+)
+
+
+def _rng_scope(ctx: LintContext, packages: Tuple[str, ...]) -> bool:
+    parts = ctx.package_parts
+    return len(parts) >= 2 and parts[0] == "repro" and parts[1] in packages
+
+
+def _numpy_aliases(tree: ast.Module) -> Set[str]:
+    names = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    names.add(alias.asname or "numpy")
+    return names
+
+
+def _random_aliases(tree: ast.Module) -> Tuple[Set[str], Dict[str, str]]:
+    """(names bound to the random module, from-imported attr aliases)."""
+    modules = set()
+    attrs: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random":
+                    modules.add(alias.asname or "random")
+        elif isinstance(node, ast.ImportFrom) and node.module == "random":
+            for alias in node.names:
+                attrs[alias.asname or alias.name] = alias.name
+    return modules, attrs
+
+
+@register_rule
+class UnseededRandomnessRule(LintRule):
+    code = "H2P121"
+    name = "no-unseeded-randomness-in-simulator"
+    rationale = (
+        "an RNG constructed without an injected seed (or any use of the "
+        "process-global RNG) makes simulations unreproducible and "
+        "un-shardable; pass seed= from the caller"
+    )
+
+    def check(self, tree: ast.Module, ctx: LintContext) -> Iterator[Finding]:
+        if not _rng_scope(ctx, RNG_PACKAGES):
+            return
+        numpy_names = _numpy_aliases(tree)
+        random_modules, random_attrs = _random_aliases(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            message = self._classify(
+                node, numpy_names, random_modules, random_attrs
+            )
+            if message is not None:
+                yield self.finding(ctx, node, message)
+
+    def _classify(
+        self,
+        call: ast.Call,
+        numpy_names: Set[str],
+        random_modules: Set[str],
+        random_attrs: Dict[str, str],
+    ) -> Optional[str]:
+        func = call.func
+        has_args = bool(call.args or call.keywords)
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            # np.random.<attr> — default_rng() bare, or the global RNG.
+            if (
+                isinstance(base, ast.Attribute)
+                and base.attr == "random"
+                and isinstance(base.value, ast.Name)
+                and base.value.id in numpy_names
+            ):
+                if func.attr == "default_rng":
+                    if not has_args:
+                        return (
+                            "np.random.default_rng() without a seed; "
+                            "inject the seed from the caller "
+                            "(default_rng(seed))"
+                        )
+                    return None
+                if func.attr in _GLOBAL_NP_RANDOM_ATTRS:
+                    return (
+                        f"np.random.{func.attr}() uses the process-global "
+                        "RNG; construct np.random.default_rng(seed) and "
+                        "thread it through"
+                    )
+                return None
+            # random.<attr> on the stdlib module.
+            if (
+                isinstance(base, ast.Name)
+                and base.id in random_modules
+            ):
+                if func.attr == "Random" and not has_args:
+                    return (
+                        "random.Random() without a seed; pass the seed "
+                        "explicitly"
+                    )
+                if func.attr in _GLOBAL_RANDOM_ATTRS:
+                    return (
+                        f"random.{func.attr}() uses the process-global "
+                        "RNG; construct random.Random(seed) and thread "
+                        "it through"
+                    )
+            return None
+        if isinstance(func, ast.Name):
+            origin = random_attrs.get(func.id)
+            if origin == "Random" and not has_args:
+                return "random.Random() without a seed; pass the seed explicitly"
+            if origin in _GLOBAL_RANDOM_ATTRS:
+                return (
+                    f"random.{origin}() uses the process-global RNG; "
+                    "construct random.Random(seed) and thread it through"
+                )
+        return None
+
+
+def _module_level_mutables(tree: ast.Module) -> Set[str]:
+    """Names bound at module level to an obviously mutable container."""
+    mutables: Set[str] = set()
+    for stmt in tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+            value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = [stmt.target]
+            value = stmt.value
+        if value is None:
+            continue
+        if not _is_mutable_container(value):
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                mutables.add(target.id)
+    return mutables
+
+
+def _is_mutable_container(value: ast.expr) -> bool:
+    if isinstance(value, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(value, (ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call):
+        func = value.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr
+            if isinstance(func, ast.Attribute)
+            else ""
+        )
+        return name in _MUTABLE_FACTORIES
+    return False
+
+
+@register_rule
+class ModuleStateWriteRule(LintRule):
+    code = "H2P122"
+    name = "no-module-state-writes-from-functions"
+    rationale = (
+        "a library function mutating a module-global container couples "
+        "every simulation sharing the process; keep state instance-scoped "
+        "(the PR 3 cache lesson) so planning stays shardable"
+    )
+
+    def check(self, tree: ast.Module, ctx: LintContext) -> Iterator[Finding]:
+        if not _rng_scope(ctx, MODULE_STATE_PACKAGES):
+            return
+        mutables = _module_level_mutables(tree)
+        # ast.walk(fn) descends into nested defs, and the outer loop
+        # visits those same nested defs again — dedupe by location.
+        seen: Set[Tuple[int, int, str]] = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for finding in self._check_function(node, mutables, ctx):
+                key = (finding.line, finding.col, finding.message)
+                if key not in seen:
+                    seen.add(key)
+                    yield finding
+
+    def _check_function(
+        self,
+        fn: ast.AST,
+        mutables: Set[str],
+        ctx: LintContext,
+    ) -> Iterator[Finding]:
+        # Names the function rebinds locally shadow the module globals —
+        # unless a ``global`` statement says otherwise.
+        declared_global: Set[str] = set()
+        for node in ast.walk(fn):  # type: ignore[arg-type]
+            if isinstance(node, ast.Global):
+                declared_global.update(node.names)
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"'global {', '.join(node.names)}' write from a library "
+                    "function: module-level state couples independent "
+                    "simulations; make it instance state or pass it in",
+                )
+        local_bindings = _locally_bound_names(fn) - declared_global
+        for node in ast.walk(fn):  # type: ignore[arg-type]
+            target_name = _mutated_module_global(node, mutables)
+            if target_name is not None and target_name not in local_bindings:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"function mutates module-level container "
+                    f"{target_name!r}; module state couples independent "
+                    "simulations — make it instance state or pass it in",
+                )
+
+
+def _locally_bound_names(fn: ast.AST) -> Set[str]:
+    """Names assigned/bound anywhere in the function (incl. params)."""
+    bound: Set[str] = set()
+    args = fn.args  # type: ignore[attr-defined]
+    for arg in args.posonlyargs + args.args + args.kwonlyargs:
+        bound.add(arg.arg)
+    if args.vararg is not None:
+        bound.add(args.vararg.arg)
+    if args.kwarg is not None:
+        bound.add(args.kwarg.arg)
+    for node in ast.walk(fn):  # type: ignore[arg-type]
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                for name_node in ast.walk(target):
+                    if isinstance(name_node, ast.Name) and not isinstance(
+                        name_node.ctx, ast.Load
+                    ):
+                        bound.add(name_node.id)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            for name_node in ast.walk(node.target):
+                if isinstance(name_node, ast.Name):
+                    bound.add(name_node.id)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    for name_node in ast.walk(item.optional_vars):
+                        if isinstance(name_node, ast.Name):
+                            bound.add(name_node.id)
+    return bound
+
+
+def _mutated_module_global(
+    node: ast.AST, mutables: Set[str]
+) -> Optional[str]:
+    """Name of the module global ``node`` mutates, if any."""
+    if isinstance(node, ast.Call):
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _MUTATOR_METHODS
+            and isinstance(func.value, ast.Name)
+            and func.value.id in mutables
+        ):
+            return func.value.id
+    elif isinstance(node, (ast.Assign, ast.AugAssign)):
+        targets = (
+            node.targets if isinstance(node, ast.Assign) else [node.target]
+        )
+        for target in targets:
+            if (
+                isinstance(target, ast.Subscript)
+                and isinstance(target.value, ast.Name)
+                and target.value.id in mutables
+            ):
+                return target.value.id
+    elif isinstance(node, ast.Delete):
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Subscript)
+                and isinstance(target.value, ast.Name)
+                and target.value.id in mutables
+            ):
+                return target.value.id
+    return None

@@ -1,0 +1,131 @@
+"""H2P110/H2P111 — unit-dimension dataflow over core/hardware/runtime.
+
+The paper's latency arithmetic is dimensional: Eq. 1 slowdown factors
+are *ratios* multiplied into *milliseconds*, memory budgets are bytes,
+throughputs are per-second rates. H2P104 enforces the naming side of
+that contract (quantity functions carry a suffix); these rules enforce
+the *algebra*: a unit inferred from the ``_ms``/``_mb`` suffix
+convention is propagated through assignments, arithmetic, loops and
+branches by the :mod:`repro.lint.flow` abstract interpretation, and
+
+* **H2P110** flags addition, subtraction, augmented assignment and
+  ordering/equality comparison of two values with definite,
+  contradictory units (``latency_ms + size_mb``; ``budget_mb <
+  used_bytes``; ``total_ms += elapsed_s``) — including through locals:
+  ``t = makespan_ms`` then ``t + size_mb`` is caught;
+* **H2P111** flags a ``return`` whose inferred unit contradicts the
+  unit the function's own name declares (``def makespan_ms(...):
+  return total_s``).
+
+Only definite-vs-definite clashes report, so the rules are quiet on
+anything the suffix convention does not cover. Scope: the three
+packages whose boundary DESIGN.md names as the historical unit-mixing
+hazard — ``repro.core``, ``repro.hardware``, ``repro.runtime``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from ..engine import Finding, LintContext, LintRule, register_rule
+from ..flow.analysis import UnitAnalysis
+from ..flow.lattice import Unit, dimension, is_definite, suffix_unit
+
+#: Packages (second dotted component) the dataflow rules sweep.
+UNIT_FLOW_PACKAGES = ("core", "hardware", "runtime")
+
+
+def _in_scope(ctx: LintContext) -> bool:
+    parts = ctx.package_parts
+    return (
+        len(parts) >= 2
+        and parts[0] == "repro"
+        and parts[1] in UNIT_FLOW_PACKAGES
+    )
+
+
+def _function_params(fn: ast.AST) -> List[str]:
+    args = fn.args  # type: ignore[attr-defined]
+    names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    if args.vararg is not None:
+        names.append(args.vararg.arg)
+    if args.kwarg is not None:
+        names.append(args.kwarg.arg)
+    return names
+
+
+def _analyses(tree: ast.Module) -> Iterator[UnitAnalysis]:
+    """One UnitAnalysis per scope: the module body, then each function."""
+    yield UnitAnalysis().analyze(tree.body)
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield UnitAnalysis().analyze(node.body, _function_params(node))
+
+
+@register_rule
+class UnitMismatchRule(LintRule):
+    code = "H2P110"
+    name = "no-mixed-unit-arithmetic"
+    rationale = (
+        "Eq. 1 multiplies slowdown ratios into milliseconds; adding or "
+        "comparing ms to bytes/MB/s silently corrupts every downstream "
+        "latency figure — units are propagated by dataflow, not just names"
+    )
+
+    def check(self, tree: ast.Module, ctx: LintContext) -> Iterator[Finding]:
+        if not _in_scope(ctx):
+            return
+        for analysis in _analyses(tree):
+            for violation in analysis.violations:
+                yield self.finding(
+                    ctx,
+                    violation.node,
+                    f"mixed-unit operation: {violation.left} "
+                    f"{violation.operation} {violation.right}; convert to "
+                    "one unit explicitly before combining",
+                )
+
+
+def _contradicts(declared: Unit, returned: Unit) -> bool:
+    if not is_definite(declared) or not is_definite(returned):
+        return False
+    if declared is returned:
+        return False
+    # ratio vs count both read as dimensionless; tolerate the mix.
+    return not (
+        dimension(declared) == "dimensionless"
+        and dimension(returned) == "dimensionless"
+    )
+
+
+@register_rule
+class ReturnUnitRule(LintRule):
+    code = "H2P111"
+    name = "return-matches-declared-unit-suffix"
+    rationale = (
+        "a function named *_ms is a promise to every caller; returning a "
+        "value the dataflow infers as seconds or bytes breaks the one "
+        "unit system the codebase has"
+    )
+
+    def check(self, tree: ast.Module, ctx: LintContext) -> Iterator[Finding]:
+        if not _in_scope(ctx):
+            return
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            declared = suffix_unit(node.name)
+            if not is_definite(declared):
+                continue
+            analysis = UnitAnalysis().analyze(
+                node.body, _function_params(node)
+            )
+            for return_node, returned in analysis.returns:
+                if _contradicts(declared, returned):
+                    yield self.finding(
+                        ctx,
+                        return_node,
+                        f"function {node.name!r} declares {declared} by its "
+                        f"suffix but this return is inferred as {returned}",
+                    )

@@ -17,19 +17,24 @@ A second check plans the same mix with ``PlannerConfig.uncached()`` and
 asserts the cached cold pass is not slower than the uncached one beyond
 ``MAX_COLD_OVERHEAD`` — the cache bookkeeping itself must stay cheap.
 
+Timers come from :mod:`repro.obs.bench` (the unified harness), and
+``--json PATH`` writes the measurements as ``hetero2pipe.bench.v1``
+rows so the guard's numbers land in the same trend files as
+``hetero2pipe bench``.
+
 Run directly (exit code 0/1, used by the ``planner-cache-guard`` CI
 job)::
 
-    PYTHONPATH=src python benchmarks/cache_guard.py
+    PYTHONPATH=src python benchmarks/cache_guard.py [--json PATH]
 """
 
 import sys
-import time
 
 from repro import obs
 from repro.core.planner import Hetero2PipePlanner, PlannerConfig
 from repro.hardware.soc import get_soc
 from repro.models.zoo import get_model
+from repro.obs import bench
 
 MODEL_MIX = ("yolov4", "bert", "squeezenet", "resnet50", "vit")
 SOC = "kirin990"
@@ -37,12 +42,6 @@ NUM_REQUESTS = 20
 MIN_SPEEDUP = 50.0  # warm re-plan must be >= 50x faster than cold
 MAX_COLD_OVERHEAD = 0.10  # cached cold plan <= uncached + 10% + slack
 ABS_SLACK_S = 0.050
-
-
-def _timed(fn):
-    start = time.perf_counter()
-    fn()
-    return time.perf_counter() - start
 
 
 def measure():
@@ -53,21 +52,42 @@ def measure():
 
     with obs.use_recorder(obs.InMemoryRecorder()) as rec:
         planner = Hetero2PipePlanner(soc)
-        cold_s = _timed(lambda: planner.plan(models))
+        cold_s = bench.time_call_s(lambda: planner.plan(models))
         cold_evals = rec.metrics.counter("objective_evaluations").value
-        warm_s = _timed(lambda: planner.plan(models))
+        warm_s = bench.time_call_s(lambda: planner.plan(models))
         warm_evals = (
             rec.metrics.counter("objective_evaluations").value - cold_evals
         )
         plan_hits = rec.metrics.counter("plan_cache_hits").value
 
     uncached = Hetero2PipePlanner(soc, PlannerConfig.uncached())
-    uncached_s = _timed(lambda: uncached.plan(models))
+    uncached_s = bench.time_call_s(lambda: uncached.plan(models))
     return cold_s, warm_s, uncached_s, warm_evals, plan_hits
 
 
+def _write_rows(path, cold_s, warm_s, uncached_s):
+    rows = [
+        bench.bench_row(scenario, SOC, [value_s * 1e3])
+        for scenario, value_s in (
+            ("guard.cache.cold", cold_s),
+            ("guard.cache.warm", warm_s),
+            ("guard.cache.uncached", uncached_s),
+        )
+    ]
+    bench.write_bench_json(path, bench.bench_doc(rows))
+
+
 def main():
+    json_path = None
+    argv = sys.argv[1:]
+    if argv[:1] == ["--json"] and len(argv) == 2:
+        json_path = argv[1]
+    elif argv:
+        print(f"usage: {sys.argv[0]} [--json PATH]", file=sys.stderr)
+        return 2
     cold_s, warm_s, uncached_s, warm_evals, plan_hits = measure()
+    if json_path:
+        _write_rows(json_path, cold_s, warm_s, uncached_s)
     speedup = cold_s / warm_s if warm_s > 0 else float("inf")
     cold_limit_s = uncached_s * (1.0 + MAX_COLD_OVERHEAD) + ABS_SLACK_S
     print(f"planner.plan, {NUM_REQUESTS}-request mix on {SOC}:")

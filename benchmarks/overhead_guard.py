@@ -12,18 +12,22 @@ Best-of-N wall times are compared; the guard fails when the enabled
 run exceeds the disabled run by more than ``MAX_OVERHEAD`` (plus a
 small absolute slack so sub-millisecond timer noise cannot flake CI).
 
+Timers come from :mod:`repro.obs.bench` (the unified harness), and
+``--json PATH`` writes the two measurements as
+``hetero2pipe.bench.v1`` rows.
+
 Run directly (exit code 0/1, used by the ``obs-overhead`` CI job)::
 
-    PYTHONPATH=src python benchmarks/overhead_guard.py
+    PYTHONPATH=src python benchmarks/overhead_guard.py [--json PATH]
 """
 
 import sys
-import time
 
 from repro import obs
 from repro.core.planner import Hetero2PipePlanner, PlannerConfig
 from repro.hardware.soc import get_soc
 from repro.models.zoo import get_model
+from repro.obs import bench
 
 MODEL_MIX = ("yolov4", "bert", "squeezenet", "resnet50", "vit")
 SOC = "kirin990"
@@ -31,15 +35,6 @@ WARMUP_ROUNDS = 2
 TIMED_ROUNDS = 7
 MAX_OVERHEAD = 0.05  # +5 % over the disabled path
 ABS_SLACK_S = 0.010  # timer-noise floor per plan
-
-
-def _best_of(rounds, fn):
-    best = float("inf")
-    for _ in range(rounds):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
 
 
 def measure():
@@ -62,13 +57,29 @@ def measure():
         plan_disabled()
         plan_enabled()
 
-    disabled_s = _best_of(TIMED_ROUNDS, plan_disabled)
-    enabled_s = _best_of(TIMED_ROUNDS, plan_enabled)
+    disabled_s = bench.best_of_s(TIMED_ROUNDS, plan_disabled)
+    enabled_s = bench.best_of_s(TIMED_ROUNDS, plan_enabled)
     return disabled_s, enabled_s
 
 
 def main():
+    json_path = None
+    argv = sys.argv[1:]
+    if argv[:1] == ["--json"] and len(argv) == 2:
+        json_path = argv[1]
+    elif argv:
+        print(f"usage: {sys.argv[0]} [--json PATH]", file=sys.stderr)
+        return 2
     disabled_s, enabled_s = measure()
+    if json_path:
+        rows = [
+            bench.bench_row(scenario, SOC, [value_s * 1e3])
+            for scenario, value_s in (
+                ("guard.overhead.disabled", disabled_s),
+                ("guard.overhead.enabled", enabled_s),
+            )
+        ]
+        bench.write_bench_json(json_path, bench.bench_doc(rows))
     limit_s = disabled_s * (1.0 + MAX_OVERHEAD) + ABS_SLACK_S
     overhead = enabled_s / disabled_s - 1.0
     print(f"planner.plan best-of-{TIMED_ROUNDS}:")

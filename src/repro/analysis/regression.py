@@ -49,13 +49,17 @@ def fit_ridge(
         features: (n_samples, n_features) design matrix X.
         targets: (n_samples,) target vector Y.
         alpha: L2 regularization strength (the paper's alpha).
+            ``alpha=0`` is ordinary least squares; with a singular Gram
+            matrix (collinear features, fewer samples than features)
+            the fit falls back to the minimum-norm ``lstsq`` solution
+            instead of raising.
         fit_intercept: Centre the data so the bias is not regularized.
 
     Returns:
         The fitted :class:`RidgeModel`.
 
     Raises:
-        ValueError: on shape mismatches or non-positive alpha.
+        ValueError: on shape mismatches or negative alpha.
     """
     x = np.asarray(features, dtype=float)
     y = np.asarray(targets, dtype=float)
@@ -65,8 +69,10 @@ def fit_ridge(
         raise ValueError(
             f"targets shape {y.shape} incompatible with features {x.shape}"
         )
-    if alpha <= 0:
-        raise ValueError(f"alpha must be positive, got {alpha}")
+    if x.shape[0] < 1:
+        raise ValueError("need at least one sample")
+    if alpha < 0:
+        raise ValueError(f"alpha must be non-negative, got {alpha}")
 
     if fit_intercept:
         x_mean = x.mean(axis=0)
@@ -79,6 +85,13 @@ def fit_ridge(
         xc, yc = x, y
 
     gram = xc.T @ xc + alpha * np.eye(x.shape[1])
-    weights = np.linalg.solve(gram, xc.T @ yc)
+    try:
+        weights = np.linalg.solve(gram, xc.T @ yc)
+    except np.linalg.LinAlgError:
+        # alpha=0 with a rank-deficient design (collinear columns, or a
+        # single centred sample, which is all zeros): take the
+        # minimum-norm least-squares solution.  Any alpha > 0 makes the
+        # Gram matrix positive definite, so solve() cannot get here.
+        weights, _, _, _ = np.linalg.lstsq(gram, xc.T @ yc, rcond=None)
     intercept = y_mean - float(x_mean @ weights) if fit_intercept else 0.0
     return RidgeModel(weights=weights, intercept=intercept, alpha=alpha)

@@ -38,6 +38,18 @@ Subcommands:
   invariants); ``--json`` emits ``hetero2pipe.lint.v1``, ``--format
   sarif`` SARIF 2.1.0, and ``--baseline`` applies the committed
   ratchet (``.lint-baseline.json``); see ``docs/STATIC_ANALYSIS.md``.
+* ``profile --soc X --models a,b`` — plan (or ``--stream``) with the
+  phase-attributed self-profiler on and print where the planner's own
+  wall time went; ``--cprofile``/``--allocations`` deepen the capture,
+  ``--speedscope``/``--collapsed``/``--trace`` write flame-graph
+  artifacts, ``--json`` emits ``hetero2pipe.profile.v1`` (see
+  docs/PERFORMANCE.md).
+* ``bench [--scenarios ...] [--socs ...]`` — the unified benchmark
+  harness: named planner/streaming/executor scenarios swept across
+  SoCs; ``--json``/``--out`` emit ``hetero2pipe.bench.v1``,
+  ``--baseline BENCH_planner.json`` gates against the committed
+  trajectory and ``--update-baseline`` re-anchors it (the lint-ratchet
+  UX; see docs/PERFORMANCE.md).
 
 The ``--json`` schemas are documented in docs/OBSERVABILITY.md and kept
 stable for CI/dashboard consumers.
@@ -488,6 +500,185 @@ def _cmd_drift(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .obs import prof
+
+    soc = get_soc(args.soc)
+    models = _parse_models(args.models)
+    if not models:
+        print("no models given", file=sys.stderr)
+        return 2
+    config = (
+        PlannerConfig.uncached() if args.uncached else PlannerConfig()
+    )
+    repeat = max(1, args.repeat)
+    cprofile_span = "plan" if args.cprofile else None
+    with prof.profiling_session(
+        cprofile_span=cprofile_span,
+        trace_allocations=args.allocations,
+    ) as rec:
+        if args.stream:
+            planner = StreamingPlanner(
+                soc, window_size=args.window, config=config
+            )
+            stream = models * repeat
+            result = planner.run(stream)
+        else:
+            planner = Hetero2PipePlanner(soc, config)
+            for _ in range(repeat):
+                report = planner.plan(models)
+            result = execute_plan(report.plan)
+    profile = prof.profile_spans(rec.spans)
+    if args.speedscope:
+        with open(args.speedscope, "w", encoding="utf-8") as fh:
+            json.dump(prof.speedscope_document(rec.spans), fh)
+    if args.collapsed:
+        with open(args.collapsed, "w", encoding="utf-8") as fh:
+            fh.write(prof.collapsed_stacks(rec.spans))
+    if args.trace:
+        from .runtime.tracing import write_chrome_trace
+
+        if args.stream:
+            print(
+                "--trace requires a plan run (omit --stream)",
+                file=sys.stderr,
+            )
+            return 2
+        names = [models[i].name for i in report.plan.order]
+        write_chrome_trace(result, args.trace, names, recorder=rec)
+    cprofile_rows = rec.cprofile_rows(args.top) if args.cprofile else []
+    if args.json:
+        doc = {
+            "schema": prof.PROFILE_SCHEMA,
+            "soc": soc.name,
+            "models": [m.name for m in models],
+            "mode": "stream" if args.stream else "plan",
+            "repeat": repeat,
+            "uncached": bool(args.uncached),
+            "total_ms": profile.total_ms,
+            "attributed_frac": profile.attributed_frac,
+            "phases": {
+                k: v.to_dict() for k, v in sorted(profile.phases.items())
+            },
+            "spans": {
+                k: v.to_dict() for k, v in sorted(profile.spans.items())
+            },
+            "cprofile": cprofile_rows,
+            "allocations_traced": bool(args.allocations),
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    mode = "streamed" if args.stream else "planned"
+    print(
+        f"{mode} {len(models)} models x{repeat} on {soc.name} "
+        f"with the self-profiler on"
+    )
+    print()
+    print(prof.render_phase_table(profile))
+    if args.allocations:
+        alloc = {
+            name: stat.alloc_net_bytes
+            for name, stat in sorted(profile.phases.items())
+            if stat.alloc_net_bytes
+        }
+        if alloc:
+            print()
+            print("net allocations by phase:")
+            for name, net in sorted(
+                alloc.items(), key=lambda kv: kv[1], reverse=True
+            ):
+                print(f"  {name:<12s} {net / 1024:10.1f} KiB")
+    if cprofile_rows:
+        print()
+        print(f"hottest functions (cProfile, top {args.top}):")
+        for row in cprofile_rows:
+            print(
+                f"  {row['cumulative_s'] * 1e3:9.2f} ms cum  "
+                f"{row['self_s'] * 1e3:8.2f} ms self  "
+                f"x{row['calls']}  {row['function']}"
+            )
+    for flag, path in (
+        ("speedscope", args.speedscope),
+        ("collapsed stacks", args.collapsed),
+        ("chrome trace", args.trace),
+    ):
+        if path:
+            print(f"{flag} written to {path}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .obs import bench
+
+    scenarios = (
+        [s.strip() for s in args.scenarios.split(",") if s.strip()]
+        if args.scenarios
+        else None
+    )
+    socs = (
+        [s.strip() for s in args.socs.split(",") if s.strip()]
+        if args.socs
+        else None
+    )
+    progress = None
+    if not args.json:
+        progress = lambda msg: print(f"  running {msg} ...")  # noqa: E731
+    try:
+        doc = bench.run_bench(
+            scenarios=scenarios,
+            socs=socs,
+            rounds=max(1, args.rounds),
+            progress=progress,
+        )
+    except KeyError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
+    exit_code = 0
+    comparison_text: Optional[str] = None
+    if args.update_baseline:
+        target = args.baseline or bench.DEFAULT_BASELINE_PATH
+        bench.write_bench_json(target, doc)
+        comparison_text = f"baseline updated: {target}"
+    elif args.baseline:
+        try:
+            baseline = bench.read_bench_json(args.baseline)
+        except FileNotFoundError:
+            print(
+                f"baseline {args.baseline} not found; create it with "
+                "--update-baseline",
+                file=sys.stderr,
+            )
+            return 2
+        comparisons = bench.compare_to_baseline(
+            doc, baseline, tolerance_frac=args.tolerance
+        )
+        comparison_text = bench.render_comparison(comparisons)
+        if bench.regressions(comparisons):
+            exit_code = 1
+    if args.out:
+        bench.write_bench_json(args.out, doc)
+    if args.json:
+        print(bench.render_bench_json(doc), end="")
+        if comparison_text is not None and exit_code:
+            print(comparison_text, file=sys.stderr)
+        return exit_code
+    print(bench.render_bench_table(doc))
+    if comparison_text is not None:
+        print()
+        print(comparison_text)
+        print(
+            "FAIL: scenario(s) regressed beyond the tolerance band"
+            if exit_code
+            else "OK: no scenario regressed beyond its tolerance band"
+            if not args.update_baseline
+            else "",
+        )
+    if args.out:
+        print(f"bench document written to {args.out}")
+    return exit_code
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .lint.cli import run_lint_command
 
@@ -663,6 +854,126 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_perturbation_args(drift_parser)
 
+    profile_parser = sub.add_parser(
+        "profile",
+        help="plan (or stream) with the phase-attributed self-profiler on; "
+        "export flamegraphs (this is software self-profiling — "
+        "`repro.profiling` is the hardware latency profiler)",
+    )
+    profile_parser.add_argument(
+        "--soc", default="kirin990", choices=SOC_NAMES
+    )
+    profile_parser.add_argument("--models", required=True)
+    profile_parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="profile the windowed streaming planner instead of one plan",
+    )
+    profile_parser.add_argument(
+        "--window", type=int, default=4, help="planning window size (--stream)"
+    )
+    profile_parser.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        metavar="N",
+        help="plan the mix N times (or repeat the stream N times)",
+    )
+    profile_parser.add_argument(
+        "--uncached",
+        action="store_true",
+        help="disable the objective and plan caches (profile the cold path)",
+    )
+    profile_parser.add_argument(
+        "--cprofile",
+        action="store_true",
+        help="scope a cProfile run to the `plan` span; print hot functions",
+    )
+    profile_parser.add_argument(
+        "--top",
+        type=int,
+        default=15,
+        metavar="N",
+        help="cProfile rows to show (default: 15)",
+    )
+    profile_parser.add_argument(
+        "--allocations",
+        action="store_true",
+        help="attribute net tracemalloc allocations to phases",
+    )
+    profile_parser.add_argument(
+        "--speedscope",
+        metavar="PATH",
+        help="write a speedscope JSON profile of the span tree",
+    )
+    profile_parser.add_argument(
+        "--collapsed",
+        metavar="PATH",
+        help="write collapsed stacks (flamegraph.pl format)",
+    )
+    profile_parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a Chrome trace with the phase self-profile track",
+    )
+    profile_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable document (hetero2pipe.profile.v1)",
+    )
+
+    bench_parser = sub.add_parser(
+        "bench",
+        help="run the named planner benchmark scenarios; gate against the "
+        "committed BENCH_planner.json baseline",
+    )
+    bench_parser.add_argument(
+        "--scenarios",
+        metavar="A,B",
+        help="comma-separated scenario names (default: all; see "
+        "docs/PERFORMANCE.md)",
+    )
+    bench_parser.add_argument(
+        "--socs",
+        metavar="A,B",
+        help="comma-separated SoC names (default: all three)",
+    )
+    bench_parser.add_argument(
+        "--rounds",
+        type=int,
+        default=3,
+        metavar="N",
+        help="timed rounds per (scenario, soc) cell (default: 3)",
+    )
+    bench_parser.add_argument(
+        "--out",
+        metavar="PATH",
+        help="write the hetero2pipe.bench.v1 document to PATH",
+    )
+    bench_parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="compare against a baseline document; exit 1 on regression",
+    )
+    bench_parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write the current results to the baseline path instead of "
+        "gating (the lint-ratchet UX)",
+    )
+    bench_parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="override every row's tolerance fraction for this comparison",
+    )
+    bench_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the hetero2pipe.bench.v1 document to stdout",
+    )
+
     lint_parser = sub.add_parser(
         "lint",
         help="static analysis: AST rules, import layering, plan invariants",
@@ -686,6 +997,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "stats": _cmd_stats,
         "accuracy": _cmd_accuracy,
         "drift": _cmd_drift,
+        "profile": _cmd_profile,
+        "bench": _cmd_bench,
         "lint": _cmd_lint,
     }
     return handlers[args.command](args)

@@ -188,7 +188,14 @@ class ObjectiveCache:
             obs.add("objective_cache_hits")
             return cached
         obs.add("objective_cache_misses")
-        value = self._objective(plan, with_contention)
+        # The span makes every real re-simulation attributable: the
+        # self-profiler (repro.obs.prof) folds these into the
+        # ``objective`` phase, separating simulation cost from the
+        # stealing/tail search that issues the probes.  Cache hits stay
+        # span-free — they are dictionary lookups, not simulations.
+        with obs.span("plan.objective", requests=plan.num_requests) as sp:
+            value = self._objective(plan, with_contention)
+            sp.set(makespan_ms=value)
         self._cache.put(key, value)
         return value
 

@@ -226,7 +226,8 @@ class Hetero2PipePlanner:
         with obs.span(
             "plan", requests=len(models), soc=self.soc.name
         ) as root:
-            profiles = [self.profiler.profile(m) for m in models]
+            with obs.span("plan.profile", requests=len(models)):
+                profiles = [self.profiler.profile(m) for m in models]
 
             # Step 1 — horizontal DP per request (P1).
             partitions = [self._partition(p) for p in profiles]

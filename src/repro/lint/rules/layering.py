@@ -75,6 +75,14 @@ MODULE_OVERRIDES: Dict[str, int] = {
     # substrate it wraps (runtime.schedule, rank 36) and below the rest
     # of ``core``: it may import the cost oracle, never the planner.
     f"{ROOT_PACKAGE}.core.objective": 38,
+    # The self-profiler reads span trees only (obs-internal); pinning it
+    # at the obs rank records that runtime.tracing (50) may import it.
+    f"{ROOT_PACKAGE}.obs.prof": 5,
+    # The bench harness *drives* the planner, streaming layer and
+    # executor it times, so it sits above runtime (50) and below the
+    # queueing/baseline layers.  ``repro.obs`` must never import it at
+    # module level (that would be an upward edge from rank 5).
+    f"{ROOT_PACKAGE}.obs.bench": 55,
 }
 
 

@@ -55,6 +55,18 @@ from .export import (
     write_telemetry_jsonl,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .prof import (
+    PROFILE_SCHEMA,
+    PhaseProfile,
+    PhaseStat,
+    ProfilingRecorder,
+    SpanStat,
+    collapsed_stacks,
+    profile_spans,
+    profiling_session,
+    render_phase_table,
+    speedscope_document,
+)
 from .provenance import reconstruct_plan, render_explanation
 from .recorder import (
     InMemoryRecorder,
@@ -123,4 +135,16 @@ __all__ = [
     "telemetry_rows",
     "render_telemetry_jsonl",
     "write_telemetry_jsonl",
+    # self-profiling (software wall time; repro.profiling is the
+    # *hardware latency* profiler — see docs/ARCHITECTURE.md)
+    "PROFILE_SCHEMA",
+    "PhaseProfile",
+    "PhaseStat",
+    "SpanStat",
+    "ProfilingRecorder",
+    "profiling_session",
+    "profile_spans",
+    "render_phase_table",
+    "collapsed_stacks",
+    "speedscope_document",
 ]

@@ -1,0 +1,534 @@
+"""The unified benchmark harness behind ``hetero2pipe bench``.
+
+One place owns *how this repo measures itself*: the timer utilities the
+CI guards share (:func:`time_call_s`, :func:`best_of_s`,
+:func:`collect_samples_ms`), the named end-to-end scenarios swept across
+the registered SoCs, the stable ``hetero2pipe.bench.v1`` JSON document
+(per-scenario p50/min/mean, phase breakdown from
+:mod:`repro.obs.prof`, cache-effectiveness counters, an environment
+block), and the baseline comparison that turns a committed
+``BENCH_planner.json`` into a regression gate with per-row tolerance
+bands — the same ratchet UX as ``hetero2pipe lint --baseline``.
+
+Scenarios (see :data:`SCENARIOS`):
+
+* ``cold_plan`` — a five-model plan with every planner cache freshly
+  invalidated: the full Algorithm 1-3 pass plus its ~400 objective
+  re-simulations.  This is the number the ROADMAP's 10x cold-plan
+  speedup item is judged against.
+* ``warm_replan`` — the identical mix re-planned on warm caches (the
+  plan-cache fingerprint hit path PR 3 built).
+* ``streaming_window`` — a windowed :class:`StreamingPlanner` pass over
+  a 10-request arrival schedule on a warmed planner: the windowing and
+  dispatch machinery itself.
+* ``drift_replan`` — a streamed run under an injected +30% GPU slowdown
+  with accuracy tracking on: detector updates, cache invalidation and
+  the replan trigger (planner construction is per-round *setup*, not
+  timed).
+* ``executor_sim`` — one event-driven execution of a planned pipeline:
+  the simulation substrate every objective probe pays for.
+
+Gating rule: a scenario regresses when its current ``min_ms`` exceeds
+``baseline_min_ms * (1 + tolerance_frac) + abs_slack_ms``.  The bands
+are deliberately wide (defaults below): this gate exists to catch
+algorithmic regressions — an accidentally quadratic loop, a cache that
+stopped hitting — across heterogeneous CI machines, not 20% timer
+noise; the overhead/cache guards enforce the tight same-machine ratios.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from . import prof
+from .recorder import InMemoryRecorder, use_recorder
+from ..core.online import StreamingPlanner
+from ..core.planner import Hetero2PipePlanner
+from ..hardware.soc import SOC_NAMES, get_soc
+from ..models.zoo import get_model
+from ..runtime.executor import execute_plan, execute_plan_perturbed
+from ..workloads.generator import arrival_times_ms
+
+#: Stable schema marker of every bench document this repo emits.
+BENCH_SCHEMA = "hetero2pipe.bench.v1"
+
+#: The committed baseline the CI bench job gates against.
+DEFAULT_BASELINE_PATH = "BENCH_planner.json"
+
+#: Default tolerance band: fail only beyond 2.5x the baseline + slack.
+DEFAULT_TOLERANCE_FRAC = 1.5
+DEFAULT_ABS_SLACK_MS = 250.0
+
+#: The Fig. 7-style mix every scenario plans.
+MODEL_MIX = ("yolov4", "bert", "squeezenet", "resnet50", "vit")
+
+#: Cache-effectiveness counters copied into bench rows when present.
+COUNTER_NAMES = (
+    "objective_cache_hits",
+    "objective_cache_misses",
+    "objective_evaluations",
+    "plan_cache_hits",
+    "plan_cache_misses",
+    "partition_cache_hits",
+    "partition_cache_misses",
+    "profile_cache_hits",
+    "profile_cache_misses",
+)
+
+
+# ------------------------------------------------------- timer utilities
+
+
+def time_call_s(fn: Callable[[], object]) -> float:
+    """Wall time of one call, in seconds (the guards' shared timer)."""
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def best_of_s(rounds: int, fn: Callable[[], object]) -> float:
+    """Best-of-N wall time of ``fn`` in seconds (N >= 1)."""
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+    return min(time_call_s(fn) for _ in range(rounds))
+
+
+def collect_samples_ms(
+    fn: Callable[[], object],
+    rounds: int,
+    warmup: int = 0,
+    setup: Optional[Callable[[], object]] = None,
+) -> List[float]:
+    """Per-round wall times (ms) with optional warmup and untimed setup."""
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+    for _ in range(warmup):
+        if setup is not None:
+            setup()
+        fn()
+    samples: List[float] = []
+    for _ in range(rounds):
+        if setup is not None:
+            setup()
+        samples.append(time_call_s(fn) * 1e3)
+    return samples
+
+
+def percentile_ms(samples_ms: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of a sample list (q in [0, 100])."""
+    if not samples_ms:
+        raise ValueError("need at least one sample")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(samples_ms)
+    # Classic nearest-rank: ceil(q/100 * n) - 1, clamped; no
+    # interpolation, so the result is always an observed sample.
+    rank = math.ceil(q / 100.0 * len(ordered)) - 1
+    return ordered[max(0, min(len(ordered) - 1, rank))]
+
+
+# ----------------------------------------------------------- bench rows
+
+
+def environment_block() -> Dict[str, object]:
+    """Host facts a reader needs to judge absolute numbers."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def bench_row(
+    scenario: str,
+    soc: str,
+    samples_ms: Sequence[float],
+    phases: Optional[Dict[str, float]] = None,
+    counters: Optional[Dict[str, float]] = None,
+    attributed_frac: Optional[float] = None,
+    tolerance_frac: float = DEFAULT_TOLERANCE_FRAC,
+    abs_slack_ms: float = DEFAULT_ABS_SLACK_MS,
+) -> Dict[str, object]:
+    """One ``hetero2pipe.bench.v1`` result row."""
+    if not samples_ms:
+        raise ValueError(f"scenario {scenario!r}: need at least one sample")
+    row: Dict[str, object] = {
+        "scenario": scenario,
+        "soc": soc,
+        "rounds": len(samples_ms),
+        "min_ms": min(samples_ms),
+        "mean_ms": sum(samples_ms) / len(samples_ms),
+        "p50_ms": percentile_ms(samples_ms, 50.0),
+        "max_ms": max(samples_ms),
+        "tolerance_frac": tolerance_frac,
+        "abs_slack_ms": abs_slack_ms,
+    }
+    if phases is not None:
+        row["phases_exclusive_ms"] = {
+            k: round(v, 4) for k, v in sorted(phases.items())
+        }
+    if attributed_frac is not None:
+        row["attributed_frac"] = round(attributed_frac, 4)
+    if counters is not None:
+        row["counters"] = {k: counters[k] for k in sorted(counters)}
+    return row
+
+
+def bench_doc(rows: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Wrap result rows in the versioned bench document."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "environment": environment_block(),
+        "results": sorted(
+            rows, key=lambda r: (str(r["scenario"]), str(r["soc"]))
+        ),
+    }
+
+
+def render_bench_json(doc: Dict[str, object]) -> str:
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def write_bench_json(path: str, doc: Dict[str, object]) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(render_bench_json(doc))
+
+
+def read_bench_json(path: str) -> Dict[str, object]:
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    schema = doc.get("schema")
+    if schema != BENCH_SCHEMA:
+        raise ValueError(
+            f"{path}: expected schema {BENCH_SCHEMA!r}, got {schema!r}"
+        )
+    return doc
+
+
+# ------------------------------------------------------------- scenarios
+
+
+@dataclass
+class ScenarioResult:
+    """One scenario's measurements on one SoC."""
+
+    scenario: str
+    soc: str
+    samples_ms: List[float]
+    phases_exclusive_ms: Dict[str, float] = field(default_factory=dict)
+    counters: Dict[str, float] = field(default_factory=dict)
+    attributed_frac: Optional[float] = None
+
+    def to_row(self) -> Dict[str, object]:
+        return bench_row(
+            self.scenario,
+            self.soc,
+            self.samples_ms,
+            phases=self.phases_exclusive_ms or None,
+            counters=self.counters or None,
+            attributed_frac=self.attributed_frac,
+        )
+
+
+def _models() -> List[object]:
+    return [get_model(name) for name in MODEL_MIX]
+
+
+def _phase_snapshot(
+    rec: InMemoryRecorder,
+) -> tuple[Dict[str, float], Optional[float]]:
+    profile = prof.profile_spans(rec.spans)
+    phases = {
+        name: stat.exclusive_ms for name, stat in profile.phases.items()
+    }
+    return phases, profile.attributed_frac
+
+
+def _counter_snapshot(rec: InMemoryRecorder) -> Dict[str, float]:
+    snap = rec.metrics.snapshot()["counters"]
+    assert isinstance(snap, dict)
+    return {k: v for k, v in snap.items() if k in COUNTER_NAMES}
+
+
+def _run_cold_plan(soc_name: str, rounds: int) -> ScenarioResult:
+    soc = get_soc(soc_name)
+    models = _models()
+    planner = Hetero2PipePlanner(soc)
+    samples = collect_samples_ms(
+        lambda: planner.plan(models),
+        rounds,
+        setup=planner.invalidate_caches,
+    )
+    planner.invalidate_caches()
+    with use_recorder(InMemoryRecorder()) as rec:
+        planner.plan(models)
+    phases, frac = _phase_snapshot(rec)
+    return ScenarioResult(
+        "cold_plan", soc_name, samples, phases, _counter_snapshot(rec), frac
+    )
+
+
+def _run_warm_replan(soc_name: str, rounds: int) -> ScenarioResult:
+    soc = get_soc(soc_name)
+    models = _models()
+    planner = Hetero2PipePlanner(soc)
+    planner.plan(models)  # warm every cache
+    samples = collect_samples_ms(lambda: planner.plan(models), rounds)
+    with use_recorder(InMemoryRecorder()) as rec:
+        planner.plan(models)
+    phases, frac = _phase_snapshot(rec)
+    return ScenarioResult(
+        "warm_replan", soc_name, samples, phases, _counter_snapshot(rec), frac
+    )
+
+
+def _run_streaming_window(soc_name: str, rounds: int) -> ScenarioResult:
+    soc = get_soc(soc_name)
+    stream = _models() * 2
+    arrivals = arrival_times_ms(len(stream), 30.0)
+    planner = StreamingPlanner(soc, window_size=4)
+    planner.run(stream, arrivals)  # warm the shared plan caches
+    samples = collect_samples_ms(
+        lambda: planner.run(stream, arrivals), rounds
+    )
+    with use_recorder(InMemoryRecorder()) as rec:
+        planner.run(stream, arrivals)
+    phases, frac = _phase_snapshot(rec)
+    return ScenarioResult(
+        "streaming_window",
+        soc_name,
+        samples,
+        phases,
+        _counter_snapshot(rec),
+        frac,
+    )
+
+
+def _run_drift_replan(soc_name: str, rounds: int) -> ScenarioResult:
+    soc = get_soc(soc_name)
+    stream = _models() * 3
+
+    def perturbed(plan: object) -> object:
+        return execute_plan_perturbed(plan, factors={"gpu": 1.3})
+
+    holder: Dict[str, StreamingPlanner] = {}
+
+    def setup() -> None:
+        holder["planner"] = StreamingPlanner(
+            soc, window_size=4, track_accuracy=True, execute=perturbed
+        )
+
+    samples = collect_samples_ms(
+        lambda: holder["planner"].run(stream), rounds, setup=setup
+    )
+    setup()
+    with use_recorder(InMemoryRecorder()) as rec:
+        holder["planner"].run(stream)
+    phases, frac = _phase_snapshot(rec)
+    return ScenarioResult(
+        "drift_replan", soc_name, samples, phases, _counter_snapshot(rec), frac
+    )
+
+
+def _run_executor_sim(soc_name: str, rounds: int) -> ScenarioResult:
+    soc = get_soc(soc_name)
+    planner = Hetero2PipePlanner(soc)
+    report = planner.plan(_models())
+    samples = collect_samples_ms(
+        lambda: execute_plan(report.plan), rounds
+    )
+    with use_recorder(InMemoryRecorder()) as rec:
+        execute_plan(report.plan)
+    phases, frac = _phase_snapshot(rec)
+    return ScenarioResult(
+        "executor_sim", soc_name, samples, phases, _counter_snapshot(rec), frac
+    )
+
+
+#: Scenario name -> runner(soc_name, rounds).
+SCENARIOS: Dict[str, Callable[[str, int], ScenarioResult]] = {
+    "cold_plan": _run_cold_plan,
+    "warm_replan": _run_warm_replan,
+    "streaming_window": _run_streaming_window,
+    "drift_replan": _run_drift_replan,
+    "executor_sim": _run_executor_sim,
+}
+
+SCENARIO_NAMES = tuple(SCENARIOS)
+
+
+def run_bench(
+    scenarios: Optional[Sequence[str]] = None,
+    socs: Optional[Sequence[str]] = None,
+    rounds: int = 3,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, object]:
+    """Run the selected scenarios across the selected SoCs.
+
+    Args:
+        scenarios: Scenario names (default: all of :data:`SCENARIO_NAMES`).
+        socs: SoC names (default: every registered SoC).
+        rounds: Timed rounds per (scenario, soc) cell.
+        progress: Optional per-cell callback (the CLI's status line).
+
+    Returns:
+        A ``hetero2pipe.bench.v1`` document.
+
+    Raises:
+        KeyError: on an unknown scenario or SoC name.
+    """
+    chosen = list(scenarios) if scenarios else list(SCENARIO_NAMES)
+    for name in chosen:
+        if name not in SCENARIOS:
+            raise KeyError(
+                f"unknown scenario {name!r}; options: {sorted(SCENARIOS)}"
+            )
+    targets = list(socs) if socs else list(SOC_NAMES)
+    rows: List[Dict[str, object]] = []
+    for scenario in chosen:
+        for soc_name in targets:
+            if progress is not None:
+                progress(f"{scenario} on {soc_name}")
+            rows.append(SCENARIOS[scenario](soc_name, rounds).to_row())
+    return bench_doc(rows)
+
+
+# ------------------------------------------------------ baseline gating
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One (scenario, soc) cell compared against the baseline."""
+
+    scenario: str
+    soc: str
+    current_min_ms: float
+    baseline_min_ms: Optional[float]
+    limit_ms: Optional[float]
+    regressed: bool
+
+    @property
+    def ratio_x(self) -> float:
+        if not self.baseline_min_ms:
+            return 1.0
+        return self.current_min_ms / self.baseline_min_ms
+
+
+def compare_to_baseline(
+    current: Dict[str, object],
+    baseline: Dict[str, object],
+    tolerance_frac: Optional[float] = None,
+) -> List[Comparison]:
+    """Gate current results against a baseline document.
+
+    Each current row is matched to the baseline row with the same
+    ``(scenario, soc)`` key; the tolerance band comes from the baseline
+    row (``tolerance_frac`` / ``abs_slack_ms``) unless overridden.
+    Rows with no baseline counterpart are reported un-gated (they are
+    *new* — commit them with ``--update-baseline``); baseline rows not
+    re-run are ignored, so ``--scenarios`` subsets stay usable.
+    """
+    by_key: Dict[tuple, Dict[str, object]] = {}
+    for row in baseline.get("results", []):  # type: ignore[union-attr]
+        by_key[(row["scenario"], row["soc"])] = row
+    comparisons: List[Comparison] = []
+    for row in current.get("results", []):  # type: ignore[union-attr]
+        key = (row["scenario"], row["soc"])
+        current_min = float(row["min_ms"])  # type: ignore[arg-type]
+        base = by_key.get(key)
+        if base is None:
+            comparisons.append(
+                Comparison(
+                    scenario=str(row["scenario"]),
+                    soc=str(row["soc"]),
+                    current_min_ms=current_min,
+                    baseline_min_ms=None,
+                    limit_ms=None,
+                    regressed=False,
+                )
+            )
+            continue
+        base_min = float(base["min_ms"])  # type: ignore[arg-type]
+        tol = (
+            tolerance_frac
+            if tolerance_frac is not None
+            else float(base.get("tolerance_frac", DEFAULT_TOLERANCE_FRAC))  # type: ignore[arg-type]
+        )
+        slack = float(base.get("abs_slack_ms", DEFAULT_ABS_SLACK_MS))  # type: ignore[arg-type]
+        limit = base_min * (1.0 + tol) + slack
+        comparisons.append(
+            Comparison(
+                scenario=str(row["scenario"]),
+                soc=str(row["soc"]),
+                current_min_ms=current_min,
+                baseline_min_ms=base_min,
+                limit_ms=limit,
+                regressed=current_min > limit,
+            )
+        )
+    return comparisons
+
+
+def regressions(comparisons: Sequence[Comparison]) -> List[Comparison]:
+    return [c for c in comparisons if c.regressed]
+
+
+def render_comparison(comparisons: Sequence[Comparison]) -> str:
+    """Terminal table of the baseline gate, worst offenders flagged."""
+    lines = [
+        f"{'scenario':<18s} {'soc':<15s} {'current':>10s} {'baseline':>10s} "
+        f"{'limit':>10s}  verdict"
+    ]
+    for c in comparisons:
+        if c.baseline_min_ms is None:
+            verdict = "new (no baseline)"
+            base = limit = "-"
+        else:
+            verdict = (
+                f"REGRESSED ({c.ratio_x:.2f}x)" if c.regressed
+                else f"ok ({c.ratio_x:.2f}x)"
+            )
+            base = f"{c.baseline_min_ms:.2f}"
+            limit = f"{c.limit_ms:.2f}" if c.limit_ms is not None else "-"
+        lines.append(
+            f"{c.scenario:<18s} {c.soc:<15s} {c.current_min_ms:>10.2f} "
+            f"{base:>10s} {limit:>10s}  {verdict}"
+        )
+    return "\n".join(lines)
+
+
+def render_bench_table(doc: Dict[str, object]) -> str:
+    """Terminal table of one bench document."""
+    lines = [
+        f"{'scenario':<18s} {'soc':<15s} {'rounds':>6s} {'min ms':>10s} "
+        f"{'p50 ms':>10s} {'mean ms':>10s}"
+    ]
+    for row in doc.get("results", []):  # type: ignore[union-attr]
+        lines.append(
+            f"{row['scenario']:<18s} {row['soc']:<15s} "
+            f"{row['rounds']:>6d} {row['min_ms']:>10.2f} "
+            f"{row['p50_ms']:>10.2f} {row['mean_ms']:>10.2f}"
+        )
+    env = doc.get("environment", {})
+    if isinstance(env, dict) and env:
+        lines.append(
+            f"environment: python {env.get('python')} on "
+            f"{env.get('platform')} ({env.get('cpu_count')} cpus)"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.obs.bench`` — thin wrapper over the CLI verb."""
+    from ..cli import main as cli_main
+
+    return cli_main(["bench", *(argv if argv is not None else sys.argv[1:])])

@@ -1,4 +1,12 @@
-"""Solo-execution profiling and co-execution slowdown modelling."""
+"""Solo-execution profiling and co-execution slowdown modelling.
+
+Naming note: this package is **hardware latency profiling** — the
+paper's offline step (solo latencies, PMU features, co-execution
+slowdowns of the *simulated SoC*).  The other "profiler" in this repo,
+:mod:`repro.obs.prof`, is **software self-profiling** — where the
+planner's *own wall time* goes (``hetero2pipe profile``).  See
+``docs/ARCHITECTURE.md`` for the disambiguation.
+"""
 
 from .calibration import CalibrationReport, CalibrationTarget, calibrate
 from .latency import (

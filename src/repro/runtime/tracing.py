@@ -19,7 +19,12 @@ into the same document:
   (falling back to planner-span → request-slice when a later phase
   erased the stage), a mitigation relocation draws one from the
   ``plan.mitigate`` span to the relocated request's first executed
-  slice.
+  slice;
+* the self-profile as a phase track — a second planner thread
+  (``phases (self-profile)``) holding one back-to-back ``X`` slice per
+  phase with the phase's *exclusive* wall time (see
+  :func:`repro.obs.prof.phase_track_events`), so where the planner's
+  time went is readable without leaving Perfetto.
 
 Only the phases ``X``/``M``/``C``/``s``/``f`` are ever emitted; the
 export tests schema-validate this.
@@ -32,6 +37,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from .. import obs
 from ..obs import export as obs_export
+from ..obs import prof as obs_prof
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .executor import ExecutionResult
@@ -327,6 +333,18 @@ def to_chrome_trace(
                 )
             )
             events.extend(planner_events)
+            phase_events = obs_prof.phase_track_events(
+                obs_prof.profile_spans(recorder.spans),
+                pid=obs_export.PLANNER_PID,
+                tid=1,
+            )
+            if phase_events:
+                events.append(
+                    obs_export.thread_metadata(
+                        obs_export.PLANNER_PID, 1, "phases (self-profile)"
+                    )
+                )
+                events.extend(phase_events)
         last_ts = max(
             (float(e["ts"]) + float(e.get("dur", 0.0)) for e in planner_events),
             default=0.0,

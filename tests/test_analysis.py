@@ -56,7 +56,57 @@ class TestRidge:
 
     def test_alpha_validation(self):
         with pytest.raises(ValueError):
-            fit_ridge(np.ones((3, 1)), np.ones(3), alpha=0.0)
+            fit_ridge(np.ones((3, 1)), np.ones(3), alpha=-1e-9)
+
+    def test_alpha_zero_is_ordinary_least_squares(self):
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=(40, 3))
+        y = x @ np.array([2.0, -1.0, 0.5]) + 3.0
+        model = fit_ridge(x, y, alpha=0.0)
+        assert np.allclose(model.predict(x), y, atol=1e-8)
+
+    def test_alpha_zero_singular_gram_falls_back(self):
+        # Two identical columns: X^T X is singular; alpha=0 must not
+        # raise, and the minimum-norm solution still fits the data.
+        col = np.arange(1.0, 7.0)
+        x = np.column_stack([col, col])
+        y = 3.0 * col + 1.0
+        model = fit_ridge(x, y, alpha=0.0)
+        assert np.allclose(model.predict(x), y, atol=1e-8)
+        # Minimum-norm splits the weight evenly across the clones.
+        assert model.weights[0] == pytest.approx(model.weights[1])
+
+    def test_alpha_zero_underdetermined(self):
+        # Fewer samples than features: rank-deficient by construction.
+        x = np.array([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]])
+        y = np.array([1.0, 2.0])
+        model = fit_ridge(x, y, alpha=0.0)
+        assert np.allclose(model.predict(x), y, atol=1e-8)
+
+    def test_single_sample_fit(self):
+        # One centred sample is all zeros — degenerate for any design.
+        x = np.array([[2.0, 4.0]])
+        y = np.array([10.0])
+        for alpha in (0.0, 1.0):
+            model = fit_ridge(x, y, alpha=alpha)
+            # The intercept alone must reproduce the single target.
+            assert model.predict(x[0]) == pytest.approx(10.0)
+
+    def test_empty_design_rejected(self):
+        with pytest.raises(ValueError):
+            fit_ridge(np.empty((0, 2)), np.empty(0))
+
+    def test_predict_vector_matrix_round_trip(self):
+        model = RidgeModel(
+            weights=np.array([1.5, -0.5]), intercept=2.0, alpha=1.0
+        )
+        batch = np.array([[1.0, 2.0], [3.0, 4.0], [0.0, 0.0]])
+        batched = model.predict(batch)
+        assert isinstance(batched, np.ndarray)
+        assert batched.shape == (3,)
+        singles = [model.predict(row) for row in batch]
+        assert all(isinstance(s, float) for s in singles)
+        assert np.allclose(batched, singles)
 
     @given(
         st.lists(st.floats(-10, 10), min_size=3, max_size=3),

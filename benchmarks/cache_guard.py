@@ -17,6 +17,12 @@ A second check plans the same mix with ``PlannerConfig.uncached()`` and
 asserts the cached cold pass is not slower than the uncached one beyond
 ``MAX_COLD_OVERHEAD`` — the cache bookkeeping itself must stay cheap.
 
+A third check pins the foundation both caches stand on: the committed
+plan is executed twice through the discrete-event engine
+(:mod:`repro.runtime.engine`) and the makespans must be identical —
+``ObjectiveCache`` memoizes simulation outputs by plan fingerprint, so
+a non-deterministic engine would serve stale-by-construction entries.
+
 Timers come from :mod:`repro.obs.bench` (the unified harness), and
 ``--json PATH`` writes the measurements as ``hetero2pipe.bench.v1``
 rows so the guard's numbers land in the same trend files as
@@ -35,6 +41,8 @@ from repro.core.planner import Hetero2PipePlanner, PlannerConfig
 from repro.hardware.soc import get_soc
 from repro.models.zoo import get_model
 from repro.obs import bench
+from repro.runtime.executor import execute_plan
+from repro.util import approx_eq
 
 MODEL_MIX = ("yolov4", "bert", "squeezenet", "resnet50", "vit")
 SOC = "kirin990"
@@ -62,7 +70,15 @@ def measure():
 
     uncached = Hetero2PipePlanner(soc, PlannerConfig.uncached())
     uncached_s = bench.time_call_s(lambda: uncached.plan(models))
-    return cold_s, warm_s, uncached_s, warm_evals, plan_hits
+
+    # Engine-path determinism: two runs of the committed plan through
+    # the event engine must agree exactly, or the objective/plan caches
+    # would memoize outputs that a re-simulation could not reproduce.
+    plan = planner.plan(models).plan
+    first_ms = execute_plan(plan, record=False).makespan_ms
+    second_ms = execute_plan(plan, record=False).makespan_ms
+    engine_deterministic = approx_eq(first_ms, second_ms)
+    return cold_s, warm_s, uncached_s, warm_evals, plan_hits, engine_deterministic
 
 
 def _write_rows(path, cold_s, warm_s, uncached_s):
@@ -85,7 +101,14 @@ def main():
     elif argv:
         print(f"usage: {sys.argv[0]} [--json PATH]", file=sys.stderr)
         return 2
-    cold_s, warm_s, uncached_s, warm_evals, plan_hits = measure()
+    (
+        cold_s,
+        warm_s,
+        uncached_s,
+        warm_evals,
+        plan_hits,
+        engine_deterministic,
+    ) = measure()
     if json_path:
         _write_rows(json_path, cold_s, warm_s, uncached_s)
     speedup = cold_s / warm_s if warm_s > 0 else float("inf")
@@ -110,6 +133,10 @@ def main():
         failed = True
     if cold_s > cold_limit_s:
         print("FAIL: cache bookkeeping slows the cold planning path")
+        failed = True
+    if not engine_deterministic:
+        print("FAIL: event-engine re-simulation of the committed plan "
+              "diverged — the objective/plan caches cannot be trusted")
         failed = True
     if failed:
         return 1

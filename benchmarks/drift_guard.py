@@ -11,9 +11,13 @@ This guard streams a mixed model zoo over every registered SoC through
 :class:`~repro.core.online.StreamingPlanner` with accuracy tracking on,
 asserts zero drift events / zero replans / sub-microsecond residuals,
 and writes the full residual telemetry to a JSONL artifact so a failing
-run can be inspected offline.  As a sanity check that the detectors are
-*able* to fire (a guard that can never fail guards nothing), one
-perturbed control run with a +30% GPU slowdown must detect drift.
+run can be inspected offline.  One clean stream additionally executes
+through a directly constructed
+:class:`~repro.runtime.engine.DiscreteEventEngine` (not the
+``execute_plan`` adapter), pinning the invariant on the engine API
+itself.  As a sanity check that the detectors are *able* to fire (a
+guard that can never fail guards nothing), one perturbed control run
+with a +30% GPU slowdown must detect drift.
 
 Run directly (exit code 0/1, used by the ``drift-guard`` CI job)::
 
@@ -27,7 +31,8 @@ from repro.core.online import StreamingPlanner
 from repro.hardware.soc import get_soc
 from repro.models.zoo import get_model
 from repro.obs import write_telemetry_jsonl
-from repro.runtime.executor import execute_plan_perturbed
+from repro.runtime.engine import DiscreteEventEngine
+from repro.runtime.executor import execute_plan_perturbed, plan_to_chains
 
 SOCS = ("kirin990", "snapdragon778g", "snapdragon870")
 MODEL_MIX = ("resnet50", "yolov4", "bert", "squeezenet")
@@ -73,6 +78,48 @@ def clean_runs():
     return failures, reports
 
 
+def _engine_execute(plan, arrivals=None, record=True, **kwargs):
+    """Execute a plan through an explicitly constructed event engine.
+
+    ``execute_plan`` is itself a thin adapter over the engine; driving
+    the engine directly here proves the drift pipeline's zero-residual
+    invariant holds on the engine API proper, not just the adapter.
+    """
+    return DiscreteEventEngine(
+        plan.soc,
+        plan_to_chains(plan),
+        arrivals=arrivals,
+        record=record,
+        **kwargs,
+    ).run()
+
+
+def engine_clean_run():
+    """A clean stream through the raw engine API must also be silent."""
+    planner = StreamingPlanner(
+        get_soc(SOCS[0]),
+        window_size=WINDOW_SIZE,
+        track_accuracy=True,
+        execute=_engine_execute,
+    )
+    result = planner.run(_stream())
+    worst = max(
+        (r.overall().mean_abs_residual_ms for r in result.residuals),
+        default=0.0,
+    )
+    ok = (
+        not result.drift_events
+        and not result.replans
+        and worst <= RESIDUAL_TOLERANCE_MS
+    )
+    print(
+        f"  engine path ({SOCS[0]}): {len(result.residuals)} windows, "
+        f"max mean |residual| {worst:.3g} ms — "
+        f"{'ok' if ok else 'DETECTOR FIRED'}"
+    )
+    return ok
+
+
 def perturbed_control():
     """The detectors must fire under an injected +30% GPU slowdown."""
     planner = StreamingPlanner(
@@ -100,11 +147,17 @@ def main(argv):
     rows = write_telemetry_jsonl(artifact, reports)
     print(f"  telemetry artifact: {artifact} ({rows} rows)")
 
+    print("engine path (raw DiscreteEventEngine, no detector may fire):")
+    engine_ok = engine_clean_run()
+
     print("perturbed control (detectors must fire):")
     control_ok = perturbed_control()
 
     if failures:
         print(f"FAIL: detector fired on clean run(s): {', '.join(failures)}")
+        return 1
+    if not engine_ok:
+        print("FAIL: detector fired on a clean run via the raw engine API")
         return 1
     if not control_ok:
         print("FAIL: detectors stayed silent under injected +30% GPU drift")

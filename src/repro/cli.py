@@ -68,6 +68,7 @@ from .core.planner import Hetero2PipePlanner, PlannerConfig
 from .experiments import ALL_EXPERIMENTS
 from .hardware.soc import SOC_NAMES, get_soc
 from .models.zoo import MODEL_NAMES, get_model
+from .runtime.arrivals import make_arrival_process
 from .runtime.executor import execute_plan
 from .workloads.generator import arrival_times_ms
 
@@ -272,16 +273,36 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         print("no models given", file=sys.stderr)
         return 2
     repeat = max(1, args.repeat)
+    arrival_process = make_arrival_process(
+        args.arrivals,
+        interval_ms=args.interval_ms,
+        seed=args.arrival_seed,
+    )
     with obs.use_recorder(obs.InMemoryRecorder()) as rec:
         planner = Hetero2PipePlanner(soc)
         for _ in range(repeat):
             report = planner.plan(models)
-        result = execute_plan(report.plan)
-    latency = {
-        "mean_ms": result.mean_latency_ms(),
-        "p50_ms": result.p50_latency_ms,
-        "p95_ms": result.p95_latency_ms,
-        "p99_ms": result.p99_latency_ms,
+        result = execute_plan(
+            report.plan,
+            arrivals=arrival_process,
+            deadline_ms=args.deadline_ms,
+        )
+    if result.num_completed > 0:
+        latency = {
+            "mean_ms": result.mean_latency_ms(),
+            "p50_ms": result.p50_latency_ms,
+            "p95_ms": result.p95_latency_ms,
+            "p99_ms": result.p99_latency_ms,
+        }
+    else:  # every request missed its deadline: no completion latency
+        latency = {"mean_ms": None, "p50_ms": None, "p95_ms": None, "p99_ms": None}
+    queueing = {
+        "arrival_process": args.arrivals,
+        "queueing_delay_ms": result.queueing_delays_ms(),
+        "mean_queueing_delay_ms": result.mean_queueing_delay_ms,
+        "deadline_drops": result.deadline_drops,
+        "dropped_requests": list(result.dropped_requests),
+        "completed_requests": result.num_completed,
     }
     if args.json:
         snap = rec.metrics.snapshot()
@@ -293,6 +314,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             "makespan_ms": result.makespan_ms,
             "throughput_per_s": result.throughput_per_s,
             "latency": latency,
+            "queueing": queueing,
             "counters": snap["counters"],
             "gauges": snap["gauges"],
             "histograms": snap["histograms"],
@@ -302,10 +324,19 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         return 0
     print(rec.metrics.render_text())
     print()
+    if result.num_completed > 0:
+        print(
+            f"latency: mean {latency['mean_ms']:.1f} ms, "
+            f"p50 {latency['p50_ms']:.1f} ms, p95 {latency['p95_ms']:.1f} ms, "
+            f"p99 {latency['p99_ms']:.1f} ms"
+        )
+    else:
+        print("latency: undefined (every request missed its deadline)")
     print(
-        f"latency: mean {latency['mean_ms']:.1f} ms, "
-        f"p50 {latency['p50_ms']:.1f} ms, p95 {latency['p95_ms']:.1f} ms, "
-        f"p99 {latency['p99_ms']:.1f} ms"
+        f"queueing: {args.arrivals} arrivals, mean delay "
+        f"{queueing['mean_queueing_delay_ms']:.1f} ms, "
+        f"{queueing['deadline_drops']} deadline drop(s), "
+        f"{queueing['completed_requests']} completed"
     )
     print()
     print(
@@ -791,6 +822,35 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="plan the mix N times (N>1 shows the plan/objective cache "
         "counters warming up; see docs/PERFORMANCE.md)",
+    )
+    stats_parser.add_argument(
+        "--arrivals",
+        default="closed",
+        choices=("closed", "periodic", "poisson"),
+        help="arrival process driving the run: closed (everything at "
+        "t=0, the default), periodic, or seeded Poisson open-loop",
+    )
+    stats_parser.add_argument(
+        "--interval-ms",
+        type=float,
+        default=30.0,
+        metavar="MS",
+        help="(mean) inter-arrival time for periodic/poisson arrivals",
+    )
+    stats_parser.add_argument(
+        "--arrival-seed",
+        type=int,
+        default=0,
+        metavar="SEED",
+        help="RNG seed of the poisson arrival process",
+    )
+    stats_parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="drop a request whose first slice has not started this "
+        "long after its arrival (reported as deadline_drops)",
     )
 
     def _add_perturbation_args(p: argparse.ArgumentParser) -> None:

@@ -69,7 +69,13 @@ LAYERS: Dict[str, int] = {
 #: Module-specific rank refinements (full dotted names).
 MODULE_OVERRIDES: Dict[str, int] = {
     f"{ROOT_PACKAGE}.runtime.schedule": 36,
+    # The event-engine substrate and its arrival processes sit at the
+    # same rank as the executor adapter above them: ``core.objective``
+    # (38) must be able to probe simulations without an upward edge.
+    f"{ROOT_PACKAGE}.runtime.arrivals": 36,
+    f"{ROOT_PACKAGE}.runtime.engine": 36,
     f"{ROOT_PACKAGE}.runtime.executor": 36,
+    f"{ROOT_PACKAGE}.runtime._legacy_executor": 36,
     f"{ROOT_PACKAGE}.runtime.queueing": 65,
     # The objective-memoization leaf sits directly above the simulation
     # substrate it wraps (runtime.schedule, rank 36) and below the rest

@@ -39,7 +39,6 @@ noise; the overhead/cache guards enforce the tight same-machine ratios.
 from __future__ import annotations
 
 import json
-import math
 import os
 import platform
 import sys
@@ -54,6 +53,7 @@ from ..core.planner import Hetero2PipePlanner
 from ..hardware.soc import SOC_NAMES, get_soc
 from ..models.zoo import get_model
 from ..runtime.executor import execute_plan, execute_plan_perturbed
+from ..util import percentile
 from ..workloads.generator import arrival_times_ms
 
 #: Stable schema marker of every bench document this repo emits.
@@ -122,16 +122,19 @@ def collect_samples_ms(
 
 
 def percentile_ms(samples_ms: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile of a sample list (q in [0, 100])."""
+    """Nearest-rank percentile of a sample list (q in [0, 100]).
+
+    Delegates to the shared :func:`repro.util.percentile` under the
+    ``nearest_rank`` method: the result is always an observed sample
+    (no interpolation), which is the definition the published
+    ``hetero2pipe.bench.v1`` ``p50_ms`` column has always used.  The
+    simulation-latency blocks (``stats``/``accuracy``) use the same
+    shared function with the ``linear`` method instead — the two
+    definitions intentionally differ and are pinned by tests.
+    """
     if not samples_ms:
         raise ValueError("need at least one sample")
-    if not 0.0 <= q <= 100.0:
-        raise ValueError(f"percentile must be in [0, 100], got {q}")
-    ordered = sorted(samples_ms)
-    # Classic nearest-rank: ceil(q/100 * n) - 1, clamped; no
-    # interpolation, so the result is always an observed sample.
-    rank = math.ceil(q / 100.0 * len(ordered)) - 1
-    return ordered[max(0, min(len(ordered) - 1, rank))]
+    return percentile(samples_ms, q, method="nearest_rank")
 
 
 # ----------------------------------------------------------- bench rows

@@ -1,5 +1,14 @@
 """Pipeline execution substrate: timetables, event simulation, metrics."""
 
+from .arrivals import (
+    ArrivalProcess,
+    DeterministicArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+    make_arrival_process,
+    resolve_arrivals,
+)
+from .engine import EVENT_KINDS, DiscreteEventEngine, Event
 from .executor import (
     ChainTask,
     ExecutionResult,
@@ -32,6 +41,15 @@ from .schedule import (
 )
 
 __all__ = [
+    "ArrivalProcess",
+    "DeterministicArrivals",
+    "PoissonArrivals",
+    "TraceArrivals",
+    "make_arrival_process",
+    "resolve_arrivals",
+    "DiscreteEventEngine",
+    "Event",
+    "EVENT_KINDS",
     "ChainTask",
     "ExecutionResult",
     "PipelineExecutor",

@@ -1,0 +1,922 @@
+"""The discrete-event simulation engine behind every executed plan.
+
+This module is the general substrate the legacy closed-loop executor
+(:mod:`repro.runtime.executor`, now a thin adapter) was refactored
+into.  One engine instance simulates a set of per-request task chains
+on one SoC, driven by an **event heap** instead of the old per-step
+O(n) rescans of the arrival list:
+
+* ``arrival`` — a request enters the system (timestamps come from an
+  injectable :class:`~repro.runtime.arrivals.ArrivalProcess`: periodic,
+  Poisson, trace-driven, or a plain list).
+* ``task_ready`` — a chain's next slice is admitted onto its processor
+  (emitted; readiness itself is derived state: predecessor finished,
+  request arrived, processor free, memory admitted).
+* ``rate_change`` — an exogenous processor-rate edge (today: fault
+  injection via ``processor_offline_ms``; co-runner-induced rate
+  changes are implicit — see below).
+* ``departure`` — a slice completes; the last departure of a chain
+  releases the request's memory arenas.
+* ``preemption`` — a running slice is taken off its processor with its
+  progress preserved; it re-enters the ready set.
+* ``cancellation`` — a request is removed (user-scheduled, or a
+  deadline drop when its first slice has not started by
+  ``arrival + deadline``), releasing its arenas and pending work.
+
+**Co-execution dynamics.**  While a set of slices co-runs, each
+progresses at ``1 / (1 + slowdown)`` with the slowdown recomputed from
+the live co-runner set whenever it changes (Eq. 2's dynamic ``T^co``).
+Because *every* start and departure changes every co-runner's rate, a
+textbook approach of keeping predicted departure events in the heap
+would invalidate and re-insert the whole running set on each edge.
+The running set is bounded by the processor count (<= 5 on every
+registered SoC), so the engine instead computes the earliest departure
+with a direct minimum over the running set each step — fewer
+operations than the heap churn, and floating-point-identical to the
+legacy executor's step arithmetic (the golden-equivalence guarantee
+below).  The heap holds the *unbounded* exogenous event population:
+arrivals, fault edges, deadlines, cancellations, preemptions.
+
+**Equivalence guarantee.**  For the legacy feature set (closed-loop or
+listed arrivals, contention, memory enforcement, fault injection — no
+deadlines/cancellation/preemption), the engine reproduces the legacy
+executor's ``TaskRecord``s and ``request_finish_ms`` to within 1e-9:
+the step arithmetic (``dt = min(remaining * rate)``, clipped at the
+next exogenous edge, floored at ``_EPS``) is unchanged, and processor
+iteration orders are identical.  The one deliberate divergence is the
+legacy off-by-epsilon arrival scan: the old loop treated an arrival in
+``(now, now + _EPS]`` as already arrived and could start its task up
+to ``_EPS`` *before* its arrival timestamp (a negative queueing
+delay).  The engine instead advances ``now`` to the popped event's
+timestamp, so a slice never starts before its request arrives and the
+idle-advance can never select a zero-length step.  On schedules whose
+arrivals do not fall within 1e-9 of an unrelated event edge the two
+simulators agree exactly; ``benchmarks/equivalence_guard.py`` enforces
+this over the full zoo x SoC grid in CI.
+
+**Queueing outputs.**  Per-request first-start times, queueing delays
+(first start minus arrival) and deadline drops are first-class fields
+of :class:`ExecutionResult` — the serving metrics the ROADMAP's
+open-loop front-end consumes — not post-hoc joins over task records.
+
+**Residency (Constraint 6).**  MNN-style arena behaviour: a slice's
+working set is allocated when it starts and the request's accumulated
+arenas release only when its last stage departs (or the request is
+cancelled).  A task whose admission would exceed physical capacity
+waits for residency to drain; when *every* processor is blocked, one
+task is force-started and counted as a memory-pressure event (the
+paging regime of a real device).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .. import obs
+from ..hardware.memory import MemoryDemand, MemoryGovernor
+from ..hardware.processor import ProcessorSpec
+from ..hardware.soc import SocSpec
+from ..profiling.slowdown import SliceWorkload, slowdown_fraction
+from ..util import percentile
+from .arrivals import ArrivalsLike, resolve_arrivals
+
+_EPS = 1e-9
+
+#: MNN-style runtime arenas (weight buffers, pre-allocated tensor pools,
+#: backend scratch space) occupy a multiple of the raw working set.
+ARENA_OVERHEAD_FACTOR = 3.0
+
+# ----------------------------------------------------------- event model
+
+ARRIVAL = "arrival"
+TASK_READY = "task_ready"
+RATE_CHANGE = "rate_change"
+DEPARTURE = "departure"
+PREEMPTION = "preemption"
+CANCELLATION = "cancellation"
+
+#: The engine's full event taxonomy, in no particular order.
+EVENT_KINDS = (
+    ARRIVAL,
+    TASK_READY,
+    RATE_CHANGE,
+    DEPARTURE,
+    PREEMPTION,
+    CANCELLATION,
+)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One processed simulation event (kept when ``keep_events=True``)."""
+
+    time_ms: float
+    kind: str
+    request: Optional[int] = None
+    processor: Optional[str] = None
+    detail: str = ""
+
+
+# ------------------------------------------------------- task structures
+
+
+@dataclass
+class ChainTask:
+    """One schedulable unit: a slice bound to a specific processor."""
+
+    request: int
+    proc: ProcessorSpec
+    solo_ms: float
+    workload: Optional[SliceWorkload]
+    working_set: float
+    stage: int = 0
+    remaining_ms: float = 0.0
+    start_ms: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.solo_ms < 0:
+            raise ValueError("solo_ms must be >= 0")
+        self.remaining_ms = self.solo_ms
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """Completed execution of one slice."""
+
+    request: int
+    stage: int
+    processor: str
+    start_ms: float
+    finish_ms: float
+    solo_ms: float
+    traffic_bytes: float = 0.0
+
+    @property
+    def duration_ms(self) -> float:
+        return self.finish_ms - self.start_ms
+
+    @property
+    def slowdown(self) -> float:
+        """Observed average slowdown vs the solo time."""
+        if self.solo_ms <= 0:
+            return 0.0
+        return self.duration_ms / self.solo_ms - 1.0
+
+
+@dataclass(frozen=True)
+class TracePoint:
+    """One sample of the shared-memory subsystem state."""
+
+    time_ms: float
+    bandwidth_demand_gbps: float
+    memory_freq_mhz: int
+    used_bytes: float
+    active_processors: Tuple[str, ...]
+
+
+@dataclass
+class ExecutionResult:
+    """Everything the experiments read off one simulated run.
+
+    ``request_first_start_ms``, ``dropped_requests`` and
+    ``cancelled_requests`` are first-class queueing outputs of the
+    event engine; results reconstructed from older archives leave them
+    empty, in which case first starts are derived from the task
+    records on demand.
+    """
+
+    records: List[TaskRecord]
+    makespan_ms: float
+    request_arrival_ms: List[float]
+    request_finish_ms: List[float]
+    trace: List[TracePoint]
+    processor_busy_ms: Dict[str, float]
+    memory_pressure_events: int = 0
+    request_first_start_ms: List[Optional[float]] = field(
+        default_factory=list
+    )
+    dropped_requests: Tuple[int, ...] = ()
+    cancelled_requests: Tuple[int, ...] = ()
+    events: List[Event] = field(default_factory=list)
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.request_finish_ms)
+
+    @property
+    def deadline_drops(self) -> int:
+        """Requests cancelled because their deadline elapsed unstarted."""
+        return len(self.dropped_requests)
+
+    def completed_requests(self) -> List[int]:
+        """Request ids that ran to completion (arrival order)."""
+        removed = set(self.dropped_requests) | set(self.cancelled_requests)
+        return [i for i in range(self.num_requests) if i not in removed]
+
+    @property
+    def num_completed(self) -> int:
+        """How many requests ran to completion (vs dropped/cancelled)."""
+        return len(self.completed_requests())
+
+    @property
+    def throughput_per_s(self) -> float:
+        """Completed inferences per second (the paper's throughput)."""
+        if self.makespan_ms <= 0:
+            return 0.0
+        return self.num_completed / (self.makespan_ms / 1e3)
+
+    def first_start_ms(self, request: int) -> Optional[float]:
+        """When the request's first slice started; None if it never ran."""
+        if self.request_first_start_ms:
+            return self.request_first_start_ms[request]
+        starts = [r.start_ms for r in self.records if r.request == request]
+        return min(starts) if starts else None
+
+    def queueing_delay_ms(self, request: int) -> Optional[float]:
+        """Wait between arrival and first execution; None if never ran."""
+        start = self.first_start_ms(request)
+        if start is None:
+            return None
+        return start - self.request_arrival_ms[request]
+
+    def queueing_delays_ms(self) -> List[Optional[float]]:
+        """Per-request queueing delays (None for never-started drops)."""
+        return [self.queueing_delay_ms(i) for i in range(self.num_requests)]
+
+    @property
+    def mean_queueing_delay_ms(self) -> float:
+        delays = [d for d in self.queueing_delays_ms() if d is not None]
+        return sum(delays) / len(delays) if delays else 0.0
+
+    def request_latency_ms(self, request: int) -> float:
+        """Completion latency of one request, from its arrival."""
+        return self.request_finish_ms[request] - self.request_arrival_ms[request]
+
+    def mean_latency_ms(self) -> float:
+        completed = self.completed_requests()
+        return sum(
+            self.request_latency_ms(i) for i in completed
+        ) / max(1, len(completed))
+
+    def latency_percentile_ms(self, pct: float) -> float:
+        """Interpolated completion-latency percentile across requests.
+
+        Uses the shared linear-interpolation definition
+        (:func:`repro.util.percentile` with ``method="linear"``,
+        numpy's default): p0 is the fastest completed request, p100 the
+        slowest, p50 the median.  Dropped/cancelled requests are
+        excluded — they have no completion latency.
+
+        Raises:
+            ValueError: when ``pct`` is outside [0, 100] or the run
+                completed no requests.
+        """
+        completed = self.completed_requests()
+        if not completed:
+            raise ValueError(
+                "no completed requests: latency percentile undefined"
+            )
+        latencies = [self.request_latency_ms(i) for i in completed]
+        return percentile(latencies, pct, method="linear")
+
+    @property
+    def p50_latency_ms(self) -> float:
+        return self.latency_percentile_ms(50.0)
+
+    @property
+    def p95_latency_ms(self) -> float:
+        return self.latency_percentile_ms(95.0)
+
+    @property
+    def p99_latency_ms(self) -> float:
+        return self.latency_percentile_ms(99.0)
+
+    def utilization(self, processor: str, span: Optional[float] = None) -> float:
+        """Busy fraction of one processor over the makespan."""
+        span = span if span is not None else self.makespan_ms
+        if span <= 0:
+            return 0.0
+        return self.processor_busy_ms.get(processor, 0.0) / span
+
+    def total_bubble_ms(self) -> float:
+        """Idle time of processors between their first and last task."""
+        total = 0.0
+        by_proc: Dict[str, List[TaskRecord]] = {}
+        for rec in self.records:
+            by_proc.setdefault(rec.processor, []).append(rec)
+        for recs in by_proc.values():
+            recs = sorted(recs, key=lambda r: r.start_ms)
+            span = recs[-1].finish_ms - recs[0].start_ms
+            busy = sum(r.duration_ms for r in recs)
+            total += max(0.0, span - busy)
+        return total
+
+
+# ------------------------------------------------------------ the engine
+
+
+class DiscreteEventEngine:
+    """Event-heap simulation of per-request task chains on one SoC.
+
+    The engine is single-use: construct, optionally schedule
+    cancellations/preemptions, then :meth:`run` (or drive it
+    incrementally with :meth:`step` / :meth:`run_until_ms`).
+
+    Args:
+        soc: The platform (contention coupling, memory capacity, DVFS).
+        chains: One ordered task chain per request; tasks run strictly
+            in chain order, each on its own processor.
+        arrivals: Per-request arrival times in ms, an
+            :class:`~repro.runtime.arrivals.ArrivalProcess`, or None
+            (closed loop: everything arrives at t=0).
+        with_contention: Apply dynamic co-execution slowdown.
+        enforce_memory: Enforce Constraint 6 (tasks wait for residency).
+        trace: Record :class:`TracePoint` samples at event edges.
+        processor_offline_ms: Fault injection — processors stop
+            accepting *new* tasks at the given times (a running task
+            completes); pending tasks bound for an offline unit fall
+            back to the best online processor supporting their slice.
+        deadline_ms: A scalar (every request) or per-request sequence
+            (None entries exempt) of *relative* deadlines: a request
+            whose first slice has not started ``deadline_ms`` after its
+            arrival is dropped (a ``cancellation`` event with detail
+            ``"deadline"``), releasing its pending work.
+        record: Feed the observability recorder (span + execution
+            metrics); the planner's objective passes False for its
+            hundreds of internal probe simulations.
+        keep_events: Keep the processed-event log on the result
+            (off by default — objective probes run thousands of
+            simulations and must not accumulate event objects).
+
+    Raises:
+        ValueError: on arrival-length mismatch, a task whose processor
+            is not part of the SoC, or a negative deadline.
+        MemoryError: if a single slice alone exceeds the capacity.
+    """
+
+    def __init__(
+        self,
+        soc: SocSpec,
+        chains: Sequence[Sequence[ChainTask]],
+        arrivals: ArrivalsLike = None,
+        with_contention: bool = True,
+        enforce_memory: bool = True,
+        trace: bool = False,
+        processor_offline_ms: Optional[Dict[str, float]] = None,
+        deadline_ms: Optional[object] = None,
+        record: bool = True,
+        keep_events: bool = False,
+    ) -> None:
+        self._soc = soc
+        self._chains = [list(chain) for chain in chains]
+        n = len(self._chains)
+        self._n = n
+        self._arrival_ms = resolve_arrivals(n, arrivals)
+        self._with_contention = with_contention
+        self._enforce_memory = enforce_memory
+        self._trace_enabled = trace
+        self._record = record
+        self._keep_events = keep_events
+        self._offline = dict(processor_offline_ms or {})
+        self._deadline_ms = self._resolve_deadlines(deadline_ms)
+
+        proc_names = {p.name for p in soc.processors}
+        capacity = soc.memory_capacity_bytes
+        for chain in self._chains:
+            for task in chain:
+                if task.proc.name not in proc_names:
+                    raise ValueError(
+                        f"task processor {task.proc.name!r} not on "
+                        f"SoC {soc.name!r}"
+                    )
+                if enforce_memory and task.working_set > capacity:
+                    raise MemoryError(
+                        f"slice of request {task.request} needs "
+                        f"{task.working_set / 1e6:.0f} MB alone; capacity "
+                        f"is {capacity / 1e6:.0f} MB"
+                    )
+        self._capacity = capacity
+        self._governor = MemoryGovernor(soc)
+
+        # --- mutable simulation state
+        self._now = 0.0
+        self._next_idx = [0] * n
+        self._prev_done = [True] * n
+        self._arrived = [False] * n
+        self._proc_running: Dict[str, Optional[ChainTask]] = {
+            p.name: None for p in soc.processors
+        }
+        self._request_alloc: Dict[int, float] = {}
+        self._allocated: Set[int] = set()  # id(task) with a live arena
+        self._used_bytes = 0.0
+        self._memory_pressure_events = 0
+        self._records: List[TaskRecord] = []
+        self._trace_points: List[TracePoint] = []
+        self._busy: Dict[str, float] = {p.name: 0.0 for p in soc.processors}
+        self._finish: List[float] = [0.0] * n
+        self._first_start: List[Optional[float]] = [None] * n
+        self._total_tasks = sum(len(c) for c in self._chains)
+        self._outstanding = self._total_tasks
+        self._completed = 0
+        self._dropped: List[int] = []
+        self._cancelled: List[int] = []
+        self._removed: Set[int] = set()
+        self._events: List[Event] = []
+        self._events_processed = 0
+        self._finished_run = False
+
+        # --- the exogenous event heap: (time_ms, seq, kind, payload)
+        self._heap: List[Tuple[float, int, str, object]] = []
+        self._seq = 0
+        for i, arrival in enumerate(self._arrival_ms):
+            self._push(arrival, ARRIVAL, i)
+        for proc_name, t_ms in self._offline.items():
+            self._push(t_ms, RATE_CHANGE, proc_name)
+        for i, deadline in enumerate(self._deadline_ms):
+            if deadline is not None:
+                self._push(
+                    self._arrival_ms[i] + deadline, CANCELLATION, (i, "deadline")
+                )
+
+    # ------------------------------------------------------ construction
+
+    def _resolve_deadlines(
+        self, deadline_ms: Optional[object]
+    ) -> List[Optional[float]]:
+        if deadline_ms is None:
+            return [None] * self._n
+        if isinstance(deadline_ms, (int, float)):
+            deadlines: List[Optional[float]] = [float(deadline_ms)] * self._n
+        else:
+            deadlines = [
+                None if d is None else float(d)
+                for d in deadline_ms  # type: ignore[union-attr]
+            ]
+            if len(deadlines) != self._n:
+                raise ValueError(
+                    f"expected {self._n} deadlines, got {len(deadlines)}"
+                )
+        for d in deadlines:
+            if d is not None and d < 0:
+                raise ValueError(f"deadline must be >= 0 ms, got {d}")
+        return deadlines
+
+    def _push(self, time_ms: float, kind: str, payload: object) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (time_ms, self._seq, kind, payload))
+
+    def _emit(
+        self,
+        kind: str,
+        request: Optional[int] = None,
+        processor: Optional[str] = None,
+        detail: str = "",
+    ) -> None:
+        self._events_processed += 1
+        if self._keep_events:
+            self._events.append(
+                Event(
+                    time_ms=self._now,
+                    kind=kind,
+                    request=request,
+                    processor=processor,
+                    detail=detail,
+                )
+            )
+
+    # -------------------------------------------------------- public API
+
+    @property
+    def now_ms(self) -> float:
+        return self._now
+
+    @property
+    def done(self) -> bool:
+        return self._outstanding <= 0
+
+    def next_event_time_ms(self) -> Optional[float]:
+        """Earliest pending exogenous event time (heap peek)."""
+        return self._heap[0][0] if self._heap else None
+
+    def schedule_cancellation(self, request: int, at_ms: float) -> None:
+        """Cancel a request at ``at_ms`` (removes its remaining work)."""
+        self._check_request(request)
+        self._push(at_ms, CANCELLATION, (request, "user"))
+
+    def schedule_preemption(self, request: int, at_ms: float) -> None:
+        """Preempt the request's running slice at ``at_ms``.
+
+        The slice keeps its progress and re-enters its processor's
+        ready set (FIFO by request id, like any other ready head); a
+        no-op when the request has nothing running at that time.
+        """
+        self._check_request(request)
+        self._push(at_ms, PREEMPTION, request)
+
+    def _check_request(self, request: int) -> None:
+        if not 0 <= request < self._n:
+            raise ValueError(
+                f"request {request} out of range [0, {self._n})"
+            )
+
+    def run(self) -> ExecutionResult:
+        """Run the simulation to completion and build the result."""
+        if self._finished_run:
+            raise RuntimeError("engine instances are single-use")
+        # The span covers exactly the event loop's wall time; the
+        # context manager closes it on the RuntimeError raise paths too.
+        with (
+            obs.span(
+                "execute",
+                requests=self._n,
+                tasks=self._total_tasks,
+                contention=self._with_contention,
+            )
+            if self._record
+            else obs.NULL_SPAN
+        ) as _span:
+            while self._outstanding > 0:
+                self._step()
+            _span.set(
+                makespan_ms=self._now,
+                memory_pressure=self._memory_pressure_events,
+            )
+        self._finished_run = True
+        if self._record and obs.enabled():
+            obs.add("tasks_executed", self._completed)
+            obs.add("engine_events_processed", self._events_processed)
+            obs.add("memory_pressure_events", self._memory_pressure_events)
+            if self._dropped:
+                obs.add("deadline_drops", len(self._dropped))
+            obs.set_gauge("last_execution_makespan_ms", self._now)
+            for rec in self._records:
+                if rec.solo_ms > 0:
+                    obs.observe("slice_slowdown", rec.slowdown)
+        return self.result()
+
+    def run_until_ms(self, until_ms: float) -> None:
+        """Advance the simulation until ``now_ms`` reaches ``until_ms``.
+
+        Incremental per-event-window querying: steps run while work
+        remains and the clock is below ``until_ms``; the step that
+        crosses the boundary completes (events are atomic).
+        """
+        while self._outstanding > 0 and self._now < until_ms:
+            self._step()
+
+    def step(self) -> bool:
+        """Process one event window; False when the simulation is done."""
+        if self._outstanding <= 0:
+            return False
+        self._step()
+        return self._outstanding > 0
+
+    def result(self) -> ExecutionResult:
+        """Snapshot the (possibly still running) simulation state."""
+        return ExecutionResult(
+            records=list(self._records),
+            makespan_ms=self._now,
+            request_arrival_ms=list(self._arrival_ms),
+            request_finish_ms=list(self._finish),
+            trace=list(self._trace_points),
+            processor_busy_ms=dict(self._busy),
+            memory_pressure_events=self._memory_pressure_events,
+            request_first_start_ms=list(self._first_start),
+            dropped_requests=tuple(self._dropped),
+            cancelled_requests=tuple(self._cancelled),
+            events=list(self._events),
+        )
+
+    # ---------------------------------------------------- event handlers
+
+    def _pop_due_events(self) -> None:
+        """Fire every pending event with ``time <= now + _EPS``.
+
+        ``now`` advances to each popped event's timestamp (it can only
+        move forward, by at most ``_EPS``), which is the fix for the
+        legacy off-by-epsilon arrival scan: a slice never starts before
+        its request's arrival timestamp, so queueing delays are
+        non-negative by construction.
+        """
+        while self._heap and self._heap[0][0] <= self._now + _EPS:
+            time_ms, _seq, kind, payload = heapq.heappop(self._heap)
+            if time_ms > self._now:
+                self._now = time_ms
+            if kind == ARRIVAL:
+                request = int(payload)  # type: ignore[arg-type]
+                self._arrived[request] = True
+                self._emit(ARRIVAL, request=request)
+            elif kind == RATE_CHANGE:
+                self._emit(
+                    RATE_CHANGE,
+                    processor=str(payload),
+                    detail="offline",
+                )
+            elif kind == CANCELLATION:
+                request, reason = payload  # type: ignore[misc]
+                self._fire_cancellation(int(request), str(reason))
+            elif kind == PREEMPTION:
+                self._fire_preemption(int(payload))  # type: ignore[arg-type]
+
+    def _request_finished(self, request: int) -> bool:
+        if self._next_idx[request] < len(self._chains[request]):
+            return False
+        if not self._prev_done[request]:
+            return False  # last slice still running
+        return request not in self._removed
+
+    def _fire_cancellation(self, request: int, reason: str) -> None:
+        if request in self._removed:
+            return
+        chain = self._chains[request]
+        if self._next_idx[request] >= len(chain) and self._prev_done[request]:
+            return  # already finished: nothing to cancel
+        if reason == "deadline" and self._first_start[request] is not None:
+            return  # started in time: the deadline drop does not fire
+        running_proc: Optional[str] = None
+        for proc_name, task in self._proc_running.items():
+            if task is not None and task.request == request:
+                running_proc = proc_name
+                break
+        pending = len(chain) - self._next_idx[request]
+        drained = pending + (1 if running_proc is not None else 0)
+        if running_proc is not None:
+            self._proc_running[running_proc] = None
+        self._next_idx[request] = len(chain)
+        self._prev_done[request] = True
+        self._used_bytes -= self._request_alloc.pop(request, 0.0)
+        self._outstanding -= drained
+        self._removed.add(request)
+        self._finish[request] = self._now
+        if reason == "deadline":
+            self._dropped.append(request)
+        else:
+            self._cancelled.append(request)
+        self._emit(
+            CANCELLATION,
+            request=request,
+            processor=running_proc,
+            detail=reason,
+        )
+
+    def _fire_preemption(self, request: int) -> None:
+        for proc_name, task in self._proc_running.items():
+            if task is None or task.request != request:
+                continue
+            self._proc_running[proc_name] = None
+            # Roll the chain head back; progress lives in remaining_ms
+            # and the arena stays allocated (the slice will resume).
+            self._next_idx[request] -= 1
+            self._prev_done[request] = True
+            self._emit(PREEMPTION, request=request, processor=proc_name)
+            return
+
+    # --------------------------------------------------- scheduling core
+
+    def _is_offline(self, proc_name: str) -> bool:
+        return (
+            proc_name in self._offline
+            and self._now >= self._offline[proc_name] - _EPS
+        )
+
+    def _reassign_offline_heads(self) -> None:
+        """Fall back pending tasks whose processor has gone offline.
+
+        Reassignment is earliest-finish-time greedy across the online
+        units, seeded with each unit's current backlog, so a burst of
+        displaced work spreads over the remaining silicon instead of
+        piling onto the single fastest survivor.
+        """
+        backlog: Dict[str, float] = {}
+        for proc in self._soc.processors:
+            running = self._proc_running[proc.name]
+            backlog[proc.name] = (
+                running.remaining_ms if running is not None else 0.0
+            )
+        for i in range(self._n):
+            idx = self._next_idx[i]
+            if idx >= len(self._chains[i]):
+                continue
+            task = self._chains[i][idx]
+            if not self._is_offline(task.proc.name):
+                backlog[task.proc.name] = (
+                    backlog.get(task.proc.name, 0.0) + task.remaining_ms
+                )
+                continue
+            candidates = []
+            for proc in self._soc.processors:
+                if self._is_offline(proc.name):
+                    continue
+                if task.workload is not None:
+                    solo = task.workload.profile.exec_ms(
+                        proc, task.workload.start, task.workload.end
+                    )
+                    if solo == float("inf"):
+                        continue
+                else:
+                    solo = task.solo_ms  # no profile: keep the estimate
+                candidates.append((backlog[proc.name] + solo, solo, proc))
+            if not candidates:
+                raise RuntimeError(
+                    f"request {task.request}: no online processor can run "
+                    f"its slice after {task.proc.name!r} went offline"
+                )
+            _, solo, proc = min(candidates, key=lambda c: c[0])
+            backlog[proc.name] += solo
+            task.proc = proc
+            task.solo_ms = solo
+            task.remaining_ms = solo
+            if task.workload is not None:
+                task.workload = SliceWorkload(
+                    profile=task.workload.profile,
+                    proc=proc,
+                    start=task.workload.start,
+                    end=task.workload.end,
+                )
+
+    def _ready_task_for(self, proc_name: str) -> Optional[ChainTask]:
+        if self._is_offline(proc_name):
+            return None
+        best: Optional[ChainTask] = None
+        for i in range(self._n):
+            idx = self._next_idx[i]
+            if idx >= len(self._chains[i]) or not self._prev_done[i]:
+                continue
+            task = self._chains[i][idx]
+            if task.proc.name != proc_name:
+                continue
+            if not self._arrived[i]:
+                continue
+            if best is None or task.request < best.request:
+                best = task
+        return best
+
+    def _start_task(self, task: ChainTask, proc_name: str) -> None:
+        if task.start_ms is None:
+            task.start_ms = self._now  # a resumed slice keeps its start
+        self._proc_running[proc_name] = task
+        if id(task) not in self._allocated:
+            self._allocated.add(id(task))
+            self._used_bytes += task.working_set
+            self._request_alloc[task.request] = (
+                self._request_alloc.get(task.request, 0.0) + task.working_set
+            )
+        if self._first_start[task.request] is None:
+            self._first_start[task.request] = self._now
+        self._next_idx[task.request] += 1
+        self._prev_done[task.request] = False
+        self._emit(TASK_READY, request=task.request, processor=proc_name)
+
+    def _try_start(self) -> bool:
+        """Start whatever fits; True if any ready task is memory-blocked."""
+        blocked = False
+        for proc in self._soc.processors:
+            if self._proc_running[proc.name] is not None:
+                continue
+            task = self._ready_task_for(proc.name)
+            if task is None:
+                continue
+            admit = task.working_set if id(task) not in self._allocated else 0.0
+            if self._enforce_memory and self._used_bytes + admit > self._capacity:
+                blocked = True
+                continue  # waits for residency to drain
+            self._start_task(task, proc.name)
+        return blocked
+
+    def _force_start_blocked(self) -> bool:
+        """Overcommit one memory-blocked task to break a residency wedge.
+
+        With hold-until-request-completion residency, tight capacities
+        can deadlock (every in-flight request waits for memory another
+        holds).  A real device pages in this regime; we model that as a
+        forced start and count it as a memory-pressure event.
+        """
+        for proc in self._soc.processors:
+            if self._proc_running[proc.name] is not None:
+                continue
+            task = self._ready_task_for(proc.name)
+            if task is None:
+                continue
+            self._start_task(task, proc.name)
+            self._memory_pressure_events += 1
+            return True
+        return False
+
+    def _record_trace(self) -> None:
+        if not self._trace_enabled:
+            return
+        demands = []
+        names = []
+        for proc in self._soc.processors:
+            task = self._proc_running[proc.name]
+            if task is None or task.workload is None:
+                continue
+            names.append(proc.name)
+            demands.append(
+                MemoryDemand(
+                    processor=proc.kind,
+                    bandwidth_gbps=task.workload.profile.traffic_rate_gbps(
+                        task.workload.proc,
+                        task.workload.start,
+                        task.workload.end,
+                    ),
+                    footprint_bytes=task.working_set,
+                )
+            )
+        self._trace_points.append(
+            TracePoint(
+                time_ms=self._now,
+                bandwidth_demand_gbps=sum(d.bandwidth_gbps for d in demands),
+                memory_freq_mhz=self._governor.select_frequency(demands),
+                used_bytes=self._used_bytes,
+                active_processors=tuple(names),
+            )
+        )
+
+    # ------------------------------------------------------ the main step
+
+    def _step(self) -> None:
+        self._pop_due_events()
+        if self._outstanding <= 0:
+            return  # a cancellation drained the remaining work
+        if self._offline:
+            self._reassign_offline_heads()
+        memory_blocked = self._try_start()
+        running = [t for t in self._proc_running.values() if t is not None]
+        if not running and memory_blocked:
+            if self._force_start_blocked():
+                running = [
+                    t for t in self._proc_running.values() if t is not None
+                ]
+        self._record_trace()
+        if not running:
+            next_ms = self.next_event_time_ms()
+            if next_ms is None:
+                raise RuntimeError(
+                    "simulation wedged: no running task and no pending event"
+                )
+            self._now = next_ms
+            return
+
+        rates: Dict[int, float] = {}
+        for task in running:
+            slowdown = 0.0
+            if self._with_contention and task.workload is not None:
+                others = [
+                    t.workload
+                    for t in running
+                    if t is not task and t.workload is not None
+                ]
+                slowdown = slowdown_fraction(self._soc, task.workload, others)
+            rates[id(task)] = 1.0 + slowdown
+
+        dt = min(task.remaining_ms * rates[id(task)] for task in running)
+        next_ms = self.next_event_time_ms()
+        if next_ms is not None and next_ms > self._now + _EPS:
+            dt = min(dt, next_ms - self._now)
+        dt = max(dt, _EPS)
+
+        for task in running:
+            task.remaining_ms -= dt / rates[id(task)]
+            self._busy[task.proc.name] += dt
+        self._now += dt
+
+        for proc in self._soc.processors:
+            task = self._proc_running[proc.name]
+            if task is not None and task.remaining_ms <= _EPS * 10:
+                self._proc_running[proc.name] = None
+                self._prev_done[task.request] = True
+                self._finish[task.request] = self._now
+                self._completed += 1
+                self._outstanding -= 1
+                if self._next_idx[task.request] >= len(
+                    self._chains[task.request]
+                ):
+                    # Last stage done: release the request's arenas.
+                    self._used_bytes -= self._request_alloc.pop(
+                        task.request, 0.0
+                    )
+                traffic = 0.0
+                if task.workload is not None:
+                    traffic = task.workload.profile.traffic_bytes(
+                        task.workload.proc,
+                        task.workload.start,
+                        task.workload.end,
+                    )
+                self._records.append(
+                    TaskRecord(
+                        request=task.request,
+                        stage=task.stage,
+                        processor=proc.name,
+                        start_ms=task.start_ms or 0.0,
+                        finish_ms=self._now,
+                        solo_ms=task.solo_ms,
+                        traffic_bytes=traffic,
+                    )
+                )
+                self._emit(
+                    DEPARTURE, request=task.request, processor=proc.name
+                )
+        self._record_trace()

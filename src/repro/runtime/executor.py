@@ -1,9 +1,11 @@
-"""Event-driven pipeline execution simulator.
+"""Plan execution: the adapter between plans and the event engine.
 
 The synchronized-column timetable (:mod:`repro.runtime.schedule`) is the
-planner's optimization proxy; this module is the *evaluation* substrate:
-a continuous-time, piecewise-constant-rate simulation of workloads
-actually executing on the SoC.
+planner's optimization proxy; this module is the *evaluation* front-end:
+it adapts :class:`~repro.core.plan.PipelinePlan` objects (and the
+baselines' hand-built chains) onto the discrete-event engine in
+:mod:`repro.runtime.engine`, which owns the continuous-time,
+piecewise-constant-rate simulation itself.
 
 The core entry point is :func:`simulate_chains`: each request is a
 *chain* of tasks (slice, processor) executed in order.  Chains built
@@ -12,7 +14,9 @@ semantics (stage k on processor k); baselines such as Band build their
 own chains with arbitrary per-segment processor choices and are measured
 by the identical machinery.
 
-Semantics:
+Semantics (implemented by the engine — see its module docstring for the
+event taxonomy and the golden-equivalence guarantee vs the pre-engine
+loop preserved in :mod:`repro.runtime._legacy_executor`):
 
 * A chain's next task becomes ready when its previous task finishes
   (precedence, Eq. 8) and the request has arrived; each processor runs
@@ -26,188 +30,75 @@ Semantics:
   (Constraint 6) and instead waits for memory to drain.
 * Every event edge is sampled into a trace of bandwidth demand, memory
   use and the DVFS memory frequency the governor would select (Fig. 9).
+* Open-loop extras (arrival processes, relative deadlines with drop
+  accounting, cancellation/preemption) ride on the engine's event heap
+  and are no-ops for the closed-loop plan-evaluation path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
-from .. import obs
-from ..hardware.memory import MemoryDemand, MemoryGovernor
-from ..hardware.processor import ProcessorSpec
+from ..profiling.slowdown import SliceWorkload
+from .arrivals import ArrivalsLike
+from .engine import (  # noqa: F401  (re-exported: the historical home)
+    _EPS,
+    ARENA_OVERHEAD_FACTOR,
+    ChainTask,
+    DiscreteEventEngine,
+    Event,
+    ExecutionResult,
+    TaskRecord,
+    TracePoint,
+)
 from ..hardware.soc import SocSpec
-from ..profiling.slowdown import SliceWorkload, slowdown_fraction
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
     from ..core.plan import PipelinePlan
 
-_EPS = 1e-9
-
-#: MNN-style runtime arenas (weight buffers, pre-allocated tensor pools,
-#: backend scratch space) occupy a multiple of the raw working set.
-ARENA_OVERHEAD_FACTOR = 3.0
-
-
-@dataclass
-class ChainTask:
-    """One schedulable unit: a slice bound to a specific processor."""
-
-    request: int
-    proc: ProcessorSpec
-    solo_ms: float
-    workload: Optional[SliceWorkload]
-    working_set: float
-    stage: int = 0
-    remaining_ms: float = 0.0
-    start_ms: Optional[float] = None
-
-    def __post_init__(self) -> None:
-        if self.solo_ms < 0:
-            raise ValueError("solo_ms must be >= 0")
-        self.remaining_ms = self.solo_ms
-
-
-@dataclass(frozen=True)
-class TaskRecord:
-    """Completed execution of one slice."""
-
-    request: int
-    stage: int
-    processor: str
-    start_ms: float
-    finish_ms: float
-    solo_ms: float
-    traffic_bytes: float = 0.0
-
-    @property
-    def duration_ms(self) -> float:
-        return self.finish_ms - self.start_ms
-
-    @property
-    def slowdown(self) -> float:
-        """Observed average slowdown vs the solo time."""
-        if self.solo_ms <= 0:
-            return 0.0
-        return self.duration_ms / self.solo_ms - 1.0
-
-
-@dataclass(frozen=True)
-class TracePoint:
-    """One sample of the shared-memory subsystem state."""
-
-    time_ms: float
-    bandwidth_demand_gbps: float
-    memory_freq_mhz: int
-    used_bytes: float
-    active_processors: Tuple[str, ...]
-
-
-@dataclass
-class ExecutionResult:
-    """Everything the experiments read off one simulated run."""
-
-    records: List[TaskRecord]
-    makespan_ms: float
-    request_arrival_ms: List[float]
-    request_finish_ms: List[float]
-    trace: List[TracePoint]
-    processor_busy_ms: Dict[str, float]
-    memory_pressure_events: int = 0
-
-    @property
-    def num_requests(self) -> int:
-        return len(self.request_finish_ms)
-
-    @property
-    def throughput_per_s(self) -> float:
-        """Completed inferences per second (the paper's throughput)."""
-        if self.makespan_ms <= 0:
-            return 0.0
-        return self.num_requests / (self.makespan_ms / 1e3)
-
-    def request_latency_ms(self, request: int) -> float:
-        """Completion latency of one request, from its arrival."""
-        return self.request_finish_ms[request] - self.request_arrival_ms[request]
-
-    def mean_latency_ms(self) -> float:
-        return sum(
-            self.request_latency_ms(i) for i in range(self.num_requests)
-        ) / max(1, self.num_requests)
-
-    def latency_percentile_ms(self, pct: float) -> float:
-        """Interpolated completion-latency percentile across requests.
-
-        Uses the linear-interpolation definition (numpy's default): p0
-        is the fastest request, p100 the slowest, p50 the median.
-
-        Raises:
-            ValueError: when ``pct`` is outside [0, 100] or the run has
-                no requests.
-        """
-        if not 0.0 <= pct <= 100.0:
-            raise ValueError(f"percentile must be in [0, 100], got {pct}")
-        if self.num_requests == 0:
-            raise ValueError("no requests: latency percentile undefined")
-        latencies = sorted(
-            self.request_latency_ms(i) for i in range(self.num_requests)
-        )
-        rank = (pct / 100.0) * (len(latencies) - 1)
-        lo = int(rank)
-        hi = min(lo + 1, len(latencies) - 1)
-        frac = rank - lo
-        return latencies[lo] * (1.0 - frac) + latencies[hi] * frac
-
-    @property
-    def p50_latency_ms(self) -> float:
-        return self.latency_percentile_ms(50.0)
-
-    @property
-    def p95_latency_ms(self) -> float:
-        return self.latency_percentile_ms(95.0)
-
-    @property
-    def p99_latency_ms(self) -> float:
-        return self.latency_percentile_ms(99.0)
-
-    def utilization(self, processor: str, span: Optional[float] = None) -> float:
-        """Busy fraction of one processor over the makespan."""
-        span = span if span is not None else self.makespan_ms
-        if span <= 0:
-            return 0.0
-        return self.processor_busy_ms.get(processor, 0.0) / span
-
-    def total_bubble_ms(self) -> float:
-        """Idle time of processors between their first and last task."""
-        total = 0.0
-        by_proc: Dict[str, List[TaskRecord]] = {}
-        for rec in self.records:
-            by_proc.setdefault(rec.processor, []).append(rec)
-        for recs in by_proc.values():
-            recs = sorted(recs, key=lambda r: r.start_ms)
-            span = recs[-1].finish_ms - recs[0].start_ms
-            busy = sum(r.duration_ms for r in recs)
-            total += max(0.0, span - busy)
-        return total
+__all__ = [
+    "ARENA_OVERHEAD_FACTOR",
+    "ChainTask",
+    "Event",
+    "ExecutionResult",
+    "PipelineExecutor",
+    "TaskRecord",
+    "TracePoint",
+    "execute_plan",
+    "execute_plan_perturbed",
+    "plan_to_chains",
+    "scale_chain_tasks",
+    "simulate_chains",
+]
 
 
 def simulate_chains(
     soc: SocSpec,
     chains: Sequence[Sequence[ChainTask]],
-    arrivals: Optional[Sequence[float]] = None,
+    arrivals: ArrivalsLike = None,
     with_contention: bool = True,
     enforce_memory: bool = True,
     trace: bool = False,
     processor_offline_ms: Optional[Dict[str, float]] = None,
     record: bool = True,
+    deadline_ms: Optional[object] = None,
+    keep_events: bool = False,
 ) -> ExecutionResult:
     """Simulate per-request task chains on one SoC.
+
+    A thin adapter over :class:`~repro.runtime.engine.DiscreteEventEngine`
+    — one engine instance per call, run to completion.  Argument
+    semantics, return type and raised exceptions are the engine's; the
+    historical signature (a plain ``arrivals`` sequence, no deadlines)
+    behaves exactly as before the refactor.
 
     Args:
         soc: The platform (contention coupling, memory capacity, DVFS).
         chains: One ordered task chain per request; tasks run strictly
             in chain order, each on its own processor.
-        arrivals: Per-request arrival times in ms (default: all zero).
+        arrivals: Per-request arrival times in ms, an
+            :class:`~repro.runtime.arrivals.ArrivalProcess`, or None
+            (closed loop: everything arrives at t=0).
         with_contention: Apply dynamic co-execution slowdown.
         enforce_memory: Enforce Constraint 6 (tasks wait for residency).
         trace: Record :class:`TracePoint` samples at event edges.
@@ -220,319 +111,34 @@ def simulate_chains(
             candidate plans hundreds of times per plan; those internal
             evaluations pass False so ``tasks_executed`` and the
             ``execute`` span describe only real executions.
+        deadline_ms: Scalar or per-request relative deadlines; a request
+            whose first slice has not started this long after its
+            arrival is dropped (see the engine docs).
+        keep_events: Keep the processed-event log on the result.
 
     Returns:
         The :class:`ExecutionResult`.
 
     Raises:
-        ValueError: on arrival-length mismatch or a task whose processor
-            is not part of the SoC.
+        ValueError: on arrival-length mismatch, a task whose processor
+            is not part of the SoC, or a negative deadline.
         MemoryError: if a single slice alone exceeds the capacity.
         RuntimeError: if the simulation wedges — for valid fault-free
             inputs this cannot happen; with faults it signals that a
             task has no online processor able to run it.
     """
-    n = len(chains)
-    if arrivals is None:
-        arrivals = [0.0] * n
-    if len(arrivals) != n:
-        raise ValueError(f"expected {n} arrival times, got {len(arrivals)}")
-    proc_names = {p.name for p in soc.processors}
-    capacity = soc.memory_capacity_bytes
-    for chain in chains:
-        for task in chain:
-            if task.proc.name not in proc_names:
-                raise ValueError(
-                    f"task processor {task.proc.name!r} not on SoC {soc.name!r}"
-                )
-            if enforce_memory and task.working_set > capacity:
-                raise MemoryError(
-                    f"slice of request {task.request} needs "
-                    f"{task.working_set / 1e6:.0f} MB alone; capacity is "
-                    f"{capacity / 1e6:.0f} MB"
-                )
-
-    governor = MemoryGovernor(soc)
-    next_idx = [0] * n
-    prev_done = [True] * n
-    proc_running: Dict[str, Optional[ChainTask]] = {
-        p.name: None for p in soc.processors
-    }
-    # Residency follows MNN's arena behaviour: each slice's working set
-    # is allocated when the slice starts and the request's accumulated
-    # arenas are released only when its *last* stage completes.
-    request_alloc: Dict[int, float] = {}
-    used_bytes = 0.0
-    memory_pressure_events = 0
-    now = 0.0
-    records: List[TaskRecord] = []
-    trace_points: List[TracePoint] = []
-    busy: Dict[str, float] = {p.name: 0.0 for p in soc.processors}
-    finish: List[float] = [0.0] * n
-    total_tasks = sum(len(c) for c in chains)
-    completed = 0
-    offline = dict(processor_offline_ms or {})
-
-    def is_offline(proc_name: str) -> bool:
-        return proc_name in offline and now >= offline[proc_name] - _EPS
-
-    def reassign_offline_heads() -> None:
-        """Fall back pending tasks whose processor has gone offline.
-
-        Reassignment is earliest-finish-time greedy across the online
-        units, seeded with each unit's current backlog, so a burst of
-        displaced work spreads over the remaining silicon instead of
-        piling onto the single fastest survivor.
-        """
-        backlog: Dict[str, float] = {}
-        for proc in soc.processors:
-            running = proc_running[proc.name]
-            backlog[proc.name] = (
-                running.remaining_ms if running is not None else 0.0
-            )
-        for i in range(n):
-            idx = next_idx[i]
-            if idx >= len(chains[i]):
-                continue
-            task = chains[i][idx]
-            if not is_offline(task.proc.name):
-                backlog[task.proc.name] = (
-                    backlog.get(task.proc.name, 0.0) + task.remaining_ms
-                )
-                continue
-            candidates = []
-            for proc in soc.processors:
-                if is_offline(proc.name):
-                    continue
-                if task.workload is not None:
-                    solo = task.workload.profile.exec_ms(
-                        proc, task.workload.start, task.workload.end
-                    )
-                    if solo == float("inf"):
-                        continue
-                else:
-                    solo = task.solo_ms  # no profile: keep the estimate
-                candidates.append((backlog[proc.name] + solo, solo, proc))
-            if not candidates:
-                raise RuntimeError(
-                    f"request {task.request}: no online processor can run "
-                    f"its slice after {task.proc.name!r} went offline"
-                )
-            _, solo, proc = min(candidates, key=lambda c: c[0])
-            backlog[proc.name] += solo
-            task.proc = proc
-            task.solo_ms = solo
-            task.remaining_ms = solo
-            if task.workload is not None:
-                task.workload = SliceWorkload(
-                    profile=task.workload.profile,
-                    proc=proc,
-                    start=task.workload.start,
-                    end=task.workload.end,
-                )
-
-    def ready_task_for(proc_name: str) -> Optional[ChainTask]:
-        if is_offline(proc_name):
-            return None
-        best: Optional[ChainTask] = None
-        for i in range(n):
-            idx = next_idx[i]
-            if idx >= len(chains[i]) or not prev_done[i]:
-                continue
-            task = chains[i][idx]
-            if task.proc.name != proc_name:
-                continue
-            if arrivals[i] > now + _EPS:
-                continue
-            if best is None or task.request < best.request:
-                best = task
-        return best
-
-    def start_task(task: ChainTask, proc_name: str) -> None:
-        nonlocal used_bytes
-        task.start_ms = now
-        proc_running[proc_name] = task
-        used_bytes += task.working_set
-        request_alloc[task.request] = (
-            request_alloc.get(task.request, 0.0) + task.working_set
-        )
-        next_idx[task.request] += 1
-        prev_done[task.request] = False
-
-    def try_start() -> bool:
-        """Start whatever fits; True if any ready task is memory-blocked."""
-        blocked = False
-        for proc in soc.processors:
-            if proc_running[proc.name] is not None:
-                continue
-            task = ready_task_for(proc.name)
-            if task is None:
-                continue
-            if enforce_memory and used_bytes + task.working_set > capacity:
-                blocked = True
-                continue  # waits for residency to drain
-            start_task(task, proc.name)
-        return blocked
-
-    def force_start_blocked() -> bool:
-        """Overcommit one memory-blocked task to break a residency wedge.
-
-        With hold-until-request-completion residency, tight capacities
-        can deadlock (every in-flight request waits for memory another
-        holds).  A real device pages in this regime; we model that as a
-        forced start and count it as a memory-pressure event.
-        """
-        nonlocal memory_pressure_events
-        for proc in soc.processors:
-            if proc_running[proc.name] is not None:
-                continue
-            task = ready_task_for(proc.name)
-            if task is None:
-                continue
-            start_task(task, proc.name)
-            memory_pressure_events += 1
-            return True
-        return False
-
-    def record_trace() -> None:
-        if not trace:
-            return
-        demands = []
-        names = []
-        for proc in soc.processors:
-            task = proc_running[proc.name]
-            if task is None or task.workload is None:
-                continue
-            names.append(proc.name)
-            demands.append(
-                MemoryDemand(
-                    processor=proc.kind,
-                    bandwidth_gbps=task.workload.profile.traffic_rate_gbps(
-                        task.workload.proc,
-                        task.workload.start,
-                        task.workload.end,
-                    ),
-                    footprint_bytes=task.working_set,
-                )
-            )
-        trace_points.append(
-            TracePoint(
-                time_ms=now,
-                bandwidth_demand_gbps=sum(d.bandwidth_gbps for d in demands),
-                memory_freq_mhz=governor.select_frequency(demands),
-                used_bytes=used_bytes,
-                active_processors=tuple(names),
-            )
-        )
-
-    # The span covers exactly the event loop's wall time; the context
-    # manager closes it on the RuntimeError raise paths too.
-    with (
-        obs.span(
-            "execute",
-            requests=n,
-            tasks=total_tasks,
-            contention=with_contention,
-        )
-        if record
-        else obs.NULL_SPAN
-    ) as _span:
-        while completed < total_tasks:
-            if offline:
-                reassign_offline_heads()
-            memory_blocked = try_start()
-            running = [t for t in proc_running.values() if t is not None]
-            if not running and memory_blocked:
-                if force_start_blocked():
-                    running = [
-                        t for t in proc_running.values() if t is not None
-                    ]
-            record_trace()
-            if not running:
-                future = [a for a in arrivals if a > now + _EPS]
-                if not future:
-                    raise RuntimeError(
-                        "simulation wedged: no running task and no arrival"
-                    )
-                now = min(future)
-                continue
-
-            rates: Dict[int, float] = {}
-            for task in running:
-                slowdown = 0.0
-                if with_contention and task.workload is not None:
-                    others = [
-                        t.workload
-                        for t in running
-                        if t is not task and t.workload is not None
-                    ]
-                    slowdown = slowdown_fraction(soc, task.workload, others)
-                rates[id(task)] = 1.0 + slowdown
-
-            dt = min(task.remaining_ms * rates[id(task)] for task in running)
-            future = [a - now for a in arrivals if a > now + _EPS]
-            if future:
-                dt = min(dt, min(future))
-            fault_edges = [
-                t - now for t in offline.values() if t > now + _EPS
-            ]
-            if fault_edges:
-                dt = min(dt, min(fault_edges))
-            dt = max(dt, _EPS)
-
-            for task in running:
-                task.remaining_ms -= dt / rates[id(task)]
-                busy[task.proc.name] += dt
-            now += dt
-
-            for proc in soc.processors:
-                task = proc_running[proc.name]
-                if task is not None and task.remaining_ms <= _EPS * 10:
-                    proc_running[proc.name] = None
-                    prev_done[task.request] = True
-                    finish[task.request] = now
-                    completed += 1
-                    if next_idx[task.request] >= len(chains[task.request]):
-                        # Last stage done: release the request's arenas.
-                        used_bytes -= request_alloc.pop(task.request, 0.0)
-                    traffic = 0.0
-                    if task.workload is not None:
-                        traffic = task.workload.profile.traffic_bytes(
-                            task.workload.proc,
-                            task.workload.start,
-                            task.workload.end,
-                        )
-                    records.append(
-                        TaskRecord(
-                            request=task.request,
-                            stage=task.stage,
-                            processor=proc.name,
-                            start_ms=task.start_ms or 0.0,
-                            finish_ms=now,
-                            solo_ms=task.solo_ms,
-                            traffic_bytes=traffic,
-                        )
-                    )
-            record_trace()
-        _span.set(makespan_ms=now, memory_pressure=memory_pressure_events)
-
-    if record and obs.enabled():
-        obs.add("tasks_executed", total_tasks)
-        obs.add("memory_pressure_events", memory_pressure_events)
-        obs.set_gauge("last_execution_makespan_ms", now)
-        for record in records:
-            if record.solo_ms > 0:
-                obs.observe("slice_slowdown", record.slowdown)
-
-    return ExecutionResult(
-        records=records,
-        makespan_ms=now,
-        request_arrival_ms=list(arrivals),
-        request_finish_ms=finish,
-        trace=trace_points,
-        processor_busy_ms=busy,
-        memory_pressure_events=memory_pressure_events,
-    )
+    return DiscreteEventEngine(
+        soc,
+        chains,
+        arrivals=arrivals,
+        with_contention=with_contention,
+        enforce_memory=enforce_memory,
+        trace=trace,
+        processor_offline_ms=processor_offline_ms,
+        deadline_ms=deadline_ms,
+        record=record,
+        keep_events=keep_events,
+    ).run()
 
 
 def plan_to_chains(plan: "PipelinePlan") -> List[List[ChainTask]]:
@@ -599,7 +205,7 @@ def scale_chain_tasks(
 def execute_plan_perturbed(
     plan: "PipelinePlan",
     factors: Dict[str, float],
-    arrivals: Optional[Sequence[float]] = None,
+    arrivals: ArrivalsLike = None,
     with_contention: bool = True,
     enforce_memory: bool = True,
     trace: bool = False,
@@ -629,14 +235,16 @@ class PipelineExecutor:
         enforce_memory: bool = True,
         trace: bool = False,
         record: bool = True,
+        deadline_ms: Optional[object] = None,
     ):
         self.plan = plan
         self.with_contention = with_contention
         self.enforce_memory = enforce_memory
         self.trace_enabled = trace
         self.record = record
+        self.deadline_ms = deadline_ms
 
-    def run(self, arrivals: Optional[Sequence[float]] = None) -> ExecutionResult:
+    def run(self, arrivals: ArrivalsLike = None) -> ExecutionResult:
         """Simulate the plan (see :func:`simulate_chains`)."""
         return simulate_chains(
             self.plan.soc,
@@ -646,16 +254,18 @@ class PipelineExecutor:
             enforce_memory=self.enforce_memory,
             trace=self.trace_enabled,
             record=self.record,
+            deadline_ms=self.deadline_ms,
         )
 
 
 def execute_plan(
     plan: "PipelinePlan",
-    arrivals: Optional[Sequence[float]] = None,
+    arrivals: ArrivalsLike = None,
     with_contention: bool = True,
     enforce_memory: bool = True,
     trace: bool = False,
     record: bool = True,
+    deadline_ms: Optional[object] = None,
 ) -> ExecutionResult:
     """Convenience wrapper: build an executor and run it."""
     return PipelineExecutor(
@@ -664,4 +274,5 @@ def execute_plan(
         enforce_memory=enforce_memory,
         trace=trace,
         record=record,
+        deadline_ms=deadline_ms,
     ).run(arrivals)

@@ -13,7 +13,7 @@ request's first slice).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..baselines.mnn_serial import plan_mnn_serial
 from ..core.planner import Hetero2PipePlanner
@@ -48,11 +48,13 @@ class QueueingReport:
 
 
 def _first_starts(result: ExecutionResult) -> List[float]:
-    starts: Dict[int, float] = {}
-    for rec in result.records:
-        if rec.request not in starts or rec.start_ms < starts[rec.request]:
-            starts[rec.request] = rec.start_ms
-    return [starts[i] for i in range(result.num_requests)]
+    starts: List[float] = []
+    for i in range(result.num_requests):
+        start = result.first_start_ms(i)
+        if start is None:
+            raise ValueError(f"request {i} never started: no queueing delay")
+        starts.append(start)
+    return starts
 
 
 def serial_queueing(
@@ -81,13 +83,24 @@ def heterogeneous_queueing(
     """Queueing behaviour with the full heterogeneous pipeline."""
     planner = planner or Hetero2PipePlanner(soc)
     report = planner.plan(list(models))
-    # Requests were possibly re-ordered by mitigation; arrivals follow
-    # the original indices.
+    # Mitigation may permute requests: plan.assignments[pos] serves the
+    # original request plan.order[pos], so the simulator must see the
+    # arrivals in execution order...
     ordered_arrivals = [arrivals[i] for i in report.plan.order]
     result = execute_plan(report.plan, arrivals=ordered_arrivals)
+    # ...and the report must map the simulator's execution-position
+    # outputs *back* to original request indices, or a reordered plan
+    # pairs request A's arrival with request B's start (and positional
+    # comparisons against serial_queueing silently cross-match).
+    starts = _first_starts(result)
+    start_ms = [0.0] * result.num_requests
+    finish_ms = [0.0] * result.num_requests
+    for exec_pos, original in enumerate(report.plan.order):
+        start_ms[original] = starts[exec_pos]
+        finish_ms[original] = result.request_finish_ms[exec_pos]
     return QueueingReport(
         label="hetero2pipe",
-        arrival_ms=ordered_arrivals,
-        start_ms=_first_starts(result),
-        finish_ms=list(result.request_finish_ms),
+        arrival_ms=list(arrivals),
+        start_ms=start_ms,
+        finish_ms=finish_ms,
     )

@@ -1,10 +1,15 @@
 """Tests for the queueing analysis and the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.core.plan import PipelinePlan
+from repro.core.planner import Hetero2PipePlanner
 from repro.hardware.soc import get_soc
 from repro.models.zoo import get_model
+from repro.runtime.executor import execute_plan
 from repro.runtime.queueing import heterogeneous_queueing, serial_queueing
 from repro.workloads.generator import arrival_times_ms
 
@@ -43,6 +48,78 @@ class TestQueueing:
         models = [get_model("googlenet")] * 4
         arrivals = arrival_times_ms(4, 200.0)
         report = serial_queueing(kirin, models, arrivals)
+        assert all(d >= -1e-6 for d in report.queueing_delay_ms)
+
+
+class _PermutingPlanner:
+    """Planner stub that reverses the execution order of a real plan.
+
+    Mitigation reorders rarely trigger on small mixes, so the
+    regression test forces a non-identity ``plan.order`` explicitly:
+    ``assignments[pos]`` serves original request ``order[pos]``.
+    """
+
+    def __init__(self, soc):
+        self._soc = soc
+
+    def plan(self, models):
+        report = Hetero2PipePlanner(self._soc).plan(models)
+        base = report.plan
+        order = tuple(reversed(range(len(base.assignments))))
+        permuted = PipelinePlan(
+            soc=base.soc,
+            processors=base.processors,
+            assignments=[base.assignments[i] for i in order],
+            order=order,
+        )
+        self.permuted_plan = permuted
+
+        class _Report:
+            plan = permuted
+
+        return _Report()
+
+
+class TestQueueingOrderRegression:
+    """Arrival/start pairing must survive a mitigation re-ordering.
+
+    The historical bug: ``heterogeneous_queueing`` fed the simulator
+    execution-order arrivals (correct) but returned the simulator's
+    execution-position outputs as if they were original-request-indexed
+    — pairing request A's arrival with request B's start whenever
+    ``plan.order`` was not the identity.
+    """
+
+    def test_non_identity_order_maps_back_to_original_requests(self, kirin):
+        models = [get_model("resnet50"), get_model("squeezenet")]
+        arrivals = [0.0, 40.0]
+        planner = _PermutingPlanner(kirin)
+        report = heterogeneous_queueing(kirin, models, arrivals, planner)
+
+        # The report is original-request-indexed: arrivals unpermuted.
+        assert report.arrival_ms == arrivals
+
+        # Reference: simulate the permuted plan directly and invert the
+        # permutation by hand.  order == (1, 0): execution position 0
+        # serves original request 1 and vice versa.
+        result = execute_plan(
+            planner.permuted_plan,
+            arrivals=[arrivals[1], arrivals[0]],
+            record=False,
+        )
+        assert report.finish_ms[0] == pytest.approx(
+            result.request_finish_ms[1]
+        )
+        assert report.finish_ms[1] == pytest.approx(
+            result.request_finish_ms[0]
+        )
+        assert all(d >= -1e-6 for d in report.queueing_delay_ms)
+
+    def test_identity_order_unchanged(self, kirin):
+        models = [get_model("resnet50")] * 3
+        arrivals = arrival_times_ms(3, 30.0)
+        report = heterogeneous_queueing(kirin, models, arrivals)
+        assert report.arrival_ms == list(arrivals)
         assert all(d >= -1e-6 for d in report.queueing_delay_ms)
 
 
@@ -152,6 +229,65 @@ class TestCliExtensions:
     def test_export_unknown_model(self, capsys, tmp_path):
         path = tmp_path / "model.json"
         assert main(["export-model", "nope", str(path)]) == 2
+
+    def test_stats_poisson_open_loop_json(self, capsys):
+        code = main(
+            [
+                "stats",
+                "--models",
+                "squeezenet,mobilenetv2,squeezenet",
+                "--arrivals",
+                "poisson",
+                "--interval-ms",
+                "5",
+                "--arrival-seed",
+                "2",
+                "--deadline-ms",
+                "60",
+                "--json",
+            ]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "hetero2pipe.stats.v1"
+        queueing = doc["queueing"]
+        assert queueing["arrival_process"] == "poisson"
+        assert len(queueing["queueing_delay_ms"]) == 3
+        assert all(
+            d is None or d >= 0.0 for d in queueing["queueing_delay_ms"]
+        )
+        assert queueing["deadline_drops"] == len(
+            queueing["dropped_requests"]
+        )
+        assert (
+            queueing["completed_requests"] + queueing["deadline_drops"] == 3
+        )
+        assert queueing["mean_queueing_delay_ms"] >= 0.0
+
+    def test_stats_closed_loop_default_json(self, capsys):
+        code = main(["stats", "--models", "squeezenet,vit", "--json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["queueing"]["arrival_process"] == "closed"
+        assert doc["queueing"]["deadline_drops"] == 0
+        assert doc["queueing"]["queueing_delay_ms"][0] == pytest.approx(0.0)
+        assert doc["latency"]["mean_ms"] > 0.0
+
+    def test_stats_human_output_mentions_queueing(self, capsys):
+        code = main(
+            [
+                "stats",
+                "--models",
+                "squeezenet,squeezenet",
+                "--arrivals",
+                "periodic",
+                "--interval-ms",
+                "10",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "queueing: periodic arrivals" in out
 
     def test_calibrate_command(self, capsys, tmp_path):
         import json

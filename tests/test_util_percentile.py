@@ -1,0 +1,105 @@
+"""The one shared percentile implementation and the two published
+definitions built on it.
+
+The repo publishes latency percentiles under two deliberately different
+definitions: linear interpolation (numpy's default) in the
+``hetero2pipe.stats.v1`` / accuracy latency blocks via
+``ExecutionResult.latency_percentile_ms``, and classic nearest-rank in
+the ``hetero2pipe.bench.v1`` ``p50_ms`` column via
+``repro.obs.bench.percentile_ms``.  Both now delegate to
+:func:`repro.util.percentile`; these tests pin each caller's published
+``--json`` values to the shared function so the definitions cannot
+silently swap or drift apart.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.planner import Hetero2PipePlanner
+from repro.hardware.soc import get_soc
+from repro.models.zoo import get_model
+from repro.obs import bench
+from repro.runtime.executor import execute_plan
+from repro.util import PERCENTILE_METHODS, percentile
+
+
+class TestSharedPercentile:
+    def test_linear_interpolates(self):
+        values = [10.0, 20.0, 30.0, 40.0]
+        assert percentile(values, 0.0) == pytest.approx(10.0)
+        assert percentile(values, 100.0) == pytest.approx(40.0)
+        assert percentile(values, 50.0) == pytest.approx(25.0)
+        assert percentile(values, 25.0) == pytest.approx(17.5)
+
+    def test_nearest_rank_returns_observed_samples(self):
+        values = [10.0, 20.0, 30.0, 40.0]
+        for q in (0.0, 12.5, 50.0, 77.0, 100.0):
+            assert percentile(values, q, "nearest_rank") in values
+        assert percentile(values, 50.0, "nearest_rank") == 20.0
+        assert percentile(values, 75.0, "nearest_rank") == 30.0
+        assert percentile(values, 76.0, "nearest_rank") == 40.0
+
+    def test_input_order_irrelevant(self):
+        shuffled = [30.0, 10.0, 40.0, 20.0]
+        assert percentile(shuffled, 50.0) == pytest.approx(25.0)
+        assert percentile(shuffled, 50.0, "nearest_rank") == 20.0
+
+    def test_single_sample(self):
+        for method in PERCENTILE_METHODS:
+            assert percentile([7.0], 99.0, method) == 7.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="empty"):
+            percentile([], 50.0)
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            percentile([1.0], 101.0)
+        with pytest.raises(ValueError, match="unknown percentile method"):
+            percentile([1.0], 50.0, "median-of-medians")
+
+
+class TestStatsSchemaUsesLinear:
+    """``hetero2pipe stats --json`` latency block == linear method."""
+
+    def test_p50_p95_pinned_to_shared_linear(self, capsys):
+        models_arg = "squeezenet,mobilenetv2,resnet50"
+        assert main(["stats", "--models", models_arg, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+
+        soc = get_soc("kirin990")
+        models = [get_model(n) for n in models_arg.split(",")]
+        plan = Hetero2PipePlanner(soc).plan(models).plan
+        result = execute_plan(plan, record=False)
+        latencies = [
+            result.request_latency_ms(i) for i in range(result.num_requests)
+        ]
+        for key, q in (("p50_ms", 50.0), ("p95_ms", 95.0), ("p99_ms", 99.0)):
+            assert doc["latency"][key] == pytest.approx(
+                percentile(latencies, q, "linear")
+            )
+        # Same inputs under nearest-rank differ (distinct definitions).
+        assert doc["latency"]["p95_ms"] != pytest.approx(
+            percentile(latencies, 95.0, "nearest_rank")
+        )
+
+
+class TestBenchSchemaUsesNearestRank:
+    """``hetero2pipe.bench.v1`` rows == nearest-rank method."""
+
+    def test_percentile_ms_delegates(self):
+        samples = [3.0, 1.0, 4.0, 1.5, 9.0]
+        for q in (0.0, 33.0, 50.0, 90.0, 100.0):
+            assert bench.percentile_ms(samples, q) == percentile(
+                samples, q, "nearest_rank"
+            )
+        with pytest.raises(ValueError, match="at least one sample"):
+            bench.percentile_ms([], 50.0)
+
+    def test_bench_row_p50_pinned(self):
+        samples = [12.0, 10.0, 11.0, 14.0]
+        row = bench.bench_row("scenario.x", "kirin990", samples)
+        assert row["p50_ms"] == percentile(samples, 50.0, "nearest_rank")
+        assert row["p50_ms"] in samples  # always an observed sample
+        # And it is NOT the interpolated median of the same data.
+        assert row["p50_ms"] != percentile(samples, 50.0, "linear")

@@ -12,6 +12,12 @@ Best-of-N wall times are compared; the guard fails when the enabled
 run exceeds the disabled run by more than ``MAX_OVERHEAD`` (plus a
 small absolute slack so sub-millisecond timer noise cannot flake CI).
 
+A second measurement applies the identical budget to the *streaming
+telemetry* path: one event-engine execution of the planned pipeline
+plain, versus the same execution with ``keep_events=True`` and every
+event folded through a :class:`~repro.obs.timeline.TimelineAggregator`
+(windowed utilization/queue-depth/latency-sketch telemetry live).
+
 Timers come from :mod:`repro.obs.bench` (the unified harness), and
 ``--json PATH`` writes the two measurements as
 ``hetero2pipe.bench.v1`` rows.
@@ -62,6 +68,51 @@ def measure():
     return disabled_s, enabled_s
 
 
+def measure_timeline():
+    """Event-engine execution plain vs with the live timeline fold."""
+    from repro.obs.timeline import TimelineAggregator
+    from repro.runtime.engine import DiscreteEventEngine
+    from repro.runtime.executor import (
+        execute_plan,
+        plan_to_chains,
+        replicate_chains,
+    )
+
+    soc = get_soc(SOC)
+    models = [get_model(name) for name in MODEL_MIX]
+    report = Hetero2PipePlanner(soc).plan(models)
+    chains = replicate_chains(plan_to_chains(report.plan), 4)
+    stages = [len(chain) for chain in chains]
+    processors = [p.name for p in soc.processors]
+
+    def run_plain():
+        execute_plan(report.plan, record=False)
+
+    def run_with_timeline():
+        engine = DiscreteEventEngine(
+            soc, chains, keep_events=True, record=False
+        )
+        timeline = TimelineAggregator(processors, stages, window_ms=25.0)
+        cursor = 0
+        while engine.step():
+            log = engine.event_log
+            for event in log[cursor:]:
+                timeline.observe(event)
+            cursor = len(log)
+        for event in engine.event_log[cursor:]:
+            timeline.observe(event)
+        timeline.finish(engine.result().makespan_ms)
+
+    # The telemetry run simulates 4x the requests of the plain run;
+    # normalize per request so the ratio compares per-request cost.
+    for _ in range(WARMUP_ROUNDS):
+        run_plain()
+        run_with_timeline()
+    plain_s = bench.best_of_s(TIMED_ROUNDS, run_plain)
+    timeline_s = bench.best_of_s(TIMED_ROUNDS, run_with_timeline) / 4.0
+    return plain_s, timeline_s
+
+
 def main():
     json_path = None
     argv = sys.argv[1:]
@@ -71,12 +122,15 @@ def main():
         print(f"usage: {sys.argv[0]} [--json PATH]", file=sys.stderr)
         return 2
     disabled_s, enabled_s = measure()
+    plain_s, timeline_s = measure_timeline()
     if json_path:
         rows = [
             bench.bench_row(scenario, SOC, [value_s * 1e3])
             for scenario, value_s in (
                 ("guard.overhead.disabled", disabled_s),
                 ("guard.overhead.enabled", enabled_s),
+                ("guard.overhead.exec_plain", plain_s),
+                ("guard.overhead.exec_timeline", timeline_s),
             )
         ]
         bench.write_bench_json(json_path, bench.bench_doc(rows))
@@ -88,8 +142,22 @@ def main():
           f"({overhead:+.1%})")
     print(f"  budget            : {limit_s * 1e3:8.2f} ms "
           f"(+{MAX_OVERHEAD:.0%} and {ABS_SLACK_S * 1e3:.0f} ms slack)")
+    failed = False
     if enabled_s > limit_s:
         print("FAIL: instrumented planning exceeds the overhead budget")
+        failed = True
+    tl_limit_s = plain_s * (1.0 + MAX_OVERHEAD) + ABS_SLACK_S
+    tl_overhead = timeline_s / plain_s - 1.0
+    print(f"execute_plan best-of-{TIMED_ROUNDS} (per request mix):")
+    print(f"  plain engine run  : {plain_s * 1e3:8.2f} ms")
+    print(f"  with timeline fold: {timeline_s * 1e3:8.2f} ms "
+          f"({tl_overhead:+.1%})")
+    print(f"  budget            : {tl_limit_s * 1e3:8.2f} ms "
+          f"(+{MAX_OVERHEAD:.0%} and {ABS_SLACK_S * 1e3:.0f} ms slack)")
+    if timeline_s > tl_limit_s:
+        print("FAIL: streaming telemetry exceeds the overhead budget")
+        failed = True
+    if failed:
         return 1
     print("OK: observability overhead within budget")
     return 0

@@ -1,0 +1,230 @@
+"""CI guard: SLO burn-rate alerts must be silent when load is healthy.
+
+The alerting layer is only useful if it has both a low false-positive
+rate and a bounded detection delay, so this guard pins both ends:
+
+* **Clean runs** — a seeded Poisson arrival stream at a comfortably
+  sustainable rate (inter-arrival and SLO deadline are *calibrated*
+  from a closed-loop execution of the same plan, so the guard tracks
+  the simulator instead of hard-coding latencies) across all three
+  registered SoCs must fire **zero** burn alerts.
+* **Overloaded control** — the same mix arriving an order of magnitude
+  faster than sustainable must fire an alert within
+  ``MAX_DETECTION_WINDOWS`` tumbling windows (a guard that can never
+  fail guards nothing), and the alert must round-trip through the
+  provenance event registry (emit → ``to_dict`` → ``event_from_dict``).
+
+The clean runs' window/SLO telemetry is written to a JSONL artifact and
+the overloaded control to a Chrome trace with the utilization /
+queue-depth / burn-rate counter tracks, so a failing run can be
+inspected offline.
+
+Run directly (exit code 0/1, used by the ``slo-guard`` CI job)::
+
+    PYTHONPATH=src python benchmarks/slo_guard.py [telemetry.jsonl [trace.json]]
+"""
+
+import sys
+
+from repro import obs
+from repro.core.planner import Hetero2PipePlanner
+from repro.hardware.soc import get_soc
+from repro.models.zoo import get_model
+from repro.obs import write_slo_jsonl
+from repro.obs.events import event_from_dict
+from repro.obs.slo import SloEvaluator, SloSpec
+from repro.obs.timeline import TimelineAggregator
+from repro.runtime.arrivals import PoissonArrivals
+from repro.runtime.engine import DiscreteEventEngine
+from repro.runtime.executor import (
+    execute_plan,
+    plan_to_chains,
+    replicate_chains,
+)
+from repro.runtime.tracing import write_chrome_trace
+
+SOCS = ("kirin990", "snapdragon778g", "snapdragon870")
+MODEL_MIX = ("squeezenet", "mobilenetv2", "resnet50")
+REPEAT = 8
+ARRIVAL_SEED = 7
+OBJECTIVE = 0.9
+BURN_THRESHOLD = 2.0
+FAST_WINDOWS = 1
+SLOW_WINDOWS = 6
+#: Clean arrivals are this many times slower than back-to-back service.
+CLEAN_HEADROOM = 3.0
+#: The SLO deadline is this many times one closed-loop mix makespan.
+DEADLINE_FACTOR = 4.0
+#: The overloaded control arrives this many times faster than clean.
+OVERLOAD_FACTOR = 30.0
+#: The control must alert within this many windows of the run start.
+MAX_DETECTION_WINDOWS = 8
+DEFAULT_ARTIFACT = "slo-telemetry.jsonl"
+DEFAULT_TRACE = "slo-trace.json"
+
+
+def _stream_run(soc_name, interval_ms, deadline_slo_ms, window_ms):
+    """One open-loop Poisson run folded through both event taps."""
+    soc = get_soc(soc_name)
+    models = [get_model(name) for name in MODEL_MIX]
+    report = Hetero2PipePlanner(soc).plan(models)
+    chains = replicate_chains(plan_to_chains(report.plan), REPEAT)
+    stages = [len(chain) for chain in chains]
+    names = [a.model_name for a in report.plan.assignments] * REPEAT
+    specs = [
+        SloSpec(name=name, deadline_ms=deadline_slo_ms, objective_frac=OBJECTIVE)
+        for name in names
+    ]
+    engine = DiscreteEventEngine(
+        soc,
+        chains,
+        arrivals=PoissonArrivals(interval_ms=interval_ms, seed=ARRIVAL_SEED),
+        keep_events=True,
+        record=False,
+    )
+    timeline = TimelineAggregator(
+        [p.name for p in soc.processors], stages, window_ms
+    )
+    evaluator = SloEvaluator(
+        specs,
+        stages,
+        window_ms,
+        fast_windows=FAST_WINDOWS,
+        slow_windows=SLOW_WINDOWS,
+        burn_threshold=BURN_THRESHOLD,
+    )
+    windows = []
+    cursor = 0
+    with obs.use_recorder(obs.InMemoryRecorder()) as rec:
+        while engine.step():
+            log = engine.event_log
+            for event in log[cursor:]:
+                windows.extend(timeline.observe(event))
+                evaluator.observe(event)
+            cursor = len(log)
+        for event in engine.event_log[cursor:]:
+            windows.extend(timeline.observe(event))
+            evaluator.observe(event)
+        result = engine.result()
+        windows.extend(timeline.finish(result.makespan_ms))
+        evaluator.finish(result.makespan_ms)
+        check = timeline.littles_law()
+    return windows, evaluator, result, check, rec, names
+
+
+def _calibrate(soc_name):
+    """Derive (clean interval, SLO deadline, window) from a closed run."""
+    soc = get_soc(soc_name)
+    models = [get_model(name) for name in MODEL_MIX]
+    report = Hetero2PipePlanner(soc).plan(models)
+    closed = execute_plan(report.plan, record=False)
+    service_ms = closed.makespan_ms / max(1, closed.num_requests)
+    return (
+        service_ms * CLEAN_HEADROOM,
+        closed.makespan_ms * DEADLINE_FACTOR,
+        closed.makespan_ms,
+    )
+
+
+def clean_runs(artifact):
+    """Healthy Poisson load per SoC; zero alerts allowed."""
+    failures = []
+    all_windows = []
+    all_reports = []
+    all_alerts = []
+    for soc_name in SOCS:
+        interval_ms, deadline_ms, window_ms = _calibrate(soc_name)
+        windows, evaluator, result, check, _rec, _ = _stream_run(
+            soc_name, interval_ms, deadline_ms, window_ms
+        )
+        alerts = evaluator.alerts
+        all_windows.extend(windows)
+        all_reports.extend(evaluator.window_reports)
+        all_alerts.extend(alerts)
+        verdict = "ok"
+        if alerts:
+            verdict = f"{len(alerts)} false alert(s)"
+            failures.append(soc_name)
+        elif not check.ok:
+            verdict = "littles-law self-check violated"
+            failures.append(soc_name)
+        elif result.num_completed != result.num_requests:
+            verdict = (
+                f"only {result.num_completed}/{result.num_requests} completed"
+            )
+            failures.append(soc_name)
+        print(
+            f"  {soc_name:15s}: interval {interval_ms:6.1f} ms, "
+            f"deadline {deadline_ms:6.1f} ms, {len(windows)} windows, "
+            f"{result.num_completed}/{result.num_requests} completed "
+            f"— {verdict}"
+        )
+    rows = write_slo_jsonl(artifact, all_windows, all_reports, all_alerts)
+    print(f"  telemetry artifact: {artifact} ({rows} rows)")
+    return failures
+
+
+def overloaded_control(trace_path):
+    """A 30x overload must alert fast — and replay through provenance."""
+    soc_name = SOCS[0]
+    interval_ms, deadline_ms, window_ms = _calibrate(soc_name)
+    windows, evaluator, result, _check, rec, names = _stream_run(
+        soc_name, interval_ms / OVERLOAD_FACTOR, deadline_ms, window_ms
+    )
+    alerts = evaluator.alerts
+    write_chrome_trace(
+        result,
+        trace_path,
+        names,
+        timeline_windows=windows,
+        slo_reports=evaluator.window_reports,
+    )
+    print(f"  trace artifact: {trace_path}")
+    if not alerts:
+        print(f"  control ({soc_name}, {OVERLOAD_FACTOR:.0f}x): no alert")
+        return False
+    first = min(alert.window for alert in alerts)
+    print(
+        f"  control ({soc_name}, {OVERLOAD_FACTOR:.0f}x overload): "
+        f"{len(alerts)} alert(s), first in window {first} "
+        f"(limit {MAX_DETECTION_WINDOWS})"
+    )
+    if first > MAX_DETECTION_WINDOWS:
+        print("  detection too slow")
+        return False
+    recorded = [e for e in rec.events if e.kind == "slo_burn_alert"]
+    if len(recorded) != len(alerts):
+        print(
+            f"  provenance mismatch: {len(recorded)} recorded "
+            f"vs {len(alerts)} fired"
+        )
+        return False
+    for alert in recorded:
+        if event_from_dict(alert.to_dict()) != alert:
+            print(f"  alert does not replay: {alert}")
+            return False
+    return True
+
+
+def main(argv):
+    artifact = argv[1] if len(argv) > 1 else DEFAULT_ARTIFACT
+    trace_path = argv[2] if len(argv) > 2 else DEFAULT_TRACE
+
+    print("clean Poisson runs (no burn alert may fire):")
+    failures = clean_runs(artifact)
+
+    print("overloaded control (alerts must fire and replay):")
+    control_ok = overloaded_control(trace_path)
+
+    if failures:
+        print(f"FAIL: false alerts on clean run(s): {', '.join(failures)}")
+        return 1
+    if not control_ok:
+        print("FAIL: overloaded control did not alert fast enough")
+        return 1
+    print("OK: zero false alerts on clean runs; overload detected in time")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -22,6 +22,14 @@ Subcommands:
   ``--repeat N`` re-plans the same mix to show the planner's cache
   counters (``plan_cache_hits``, ``objective_cache_hits``, ...) warm up;
   ``--json`` emits the stable ``hetero2pipe.stats.v1`` document.
+* ``slo --soc X --models a,b`` — stream an open-loop run through the
+  timeline and SLO event taps: windowed utilization / queue-depth /
+  throughput telemetry, per-class attainment, and fast/slow burn-rate
+  alerts (``--classes 'resnet50=80:0.99,*=120'``, ``--window-ms``,
+  ``--burn-windows FAST,SLOW``; ``--follow`` prints a live ASCII
+  dashboard, ``--json`` emits ``hetero2pipe.slo.v1``, ``--jsonl``
+  writes telemetry rows, ``--trace`` a Chrome trace with the counter
+  tracks).
 * ``accuracy --soc X --models a,b`` — close the predict → execute →
   compare loop for one offline run: join the planner's predicted
   execution against the actual one and report the residuals
@@ -332,9 +340,15 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         )
     else:
         print("latency: undefined (every request missed its deadline)")
+    mean_delay = queueing["mean_queueing_delay_ms"]
+    delay_text = (
+        "undefined (no request ever started)"
+        if mean_delay is None
+        else f"{mean_delay:.1f} ms"
+    )
     print(
         f"queueing: {args.arrivals} arrivals, mean delay "
-        f"{queueing['mean_queueing_delay_ms']:.1f} ms, "
+        f"{delay_text}, "
         f"{queueing['deadline_drops']} deadline drop(s), "
         f"{queueing['completed_requests']} completed"
     )
@@ -344,6 +358,235 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             rec.events, processor_names=[p.name for p in soc.processors]
         )
     )
+    return 0
+
+
+def _follow_line(window, reports) -> str:
+    """One ASCII dashboard row for a closed timeline window."""
+    util = " ".join(
+        f"{proc} {frac * 100.0:3.0f}%"
+        for proc, frac in sorted(window.utilization_frac.items())
+        if frac > 0.005
+    ) or "idle"
+    p95 = f"{window.p95_ms:6.1f}ms" if window.p95_ms is not None else "     --"
+    burn = " ".join(
+        f"{r.class_name} {r.fast_burn:.1f}/{r.slow_burn:.1f}"
+        for r in reports
+    )
+    depth = min(20, int(round(window.mean_queue_depth)))
+    bar = "#" * depth + "." * (20 - depth)
+    return (
+        f"w{window.window:03d} [{window.start_ms:7.0f}-{window.end_ms:7.0f}ms]"
+        f" q|{bar}| {window.mean_queue_depth:4.1f}"
+        f" thr {window.throughput_per_s:6.1f}/s p95 {p95}"
+        f" util {util}" + (f" burn {burn}" if burn else "")
+    )
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    from .obs.slo import parse_class_specs, resolve_request_specs
+    from .obs.timeline import TimelineAggregator
+    from .runtime.engine import DiscreteEventEngine
+    from .runtime.executor import plan_to_chains, replicate_chains
+    from .runtime.tracing import write_chrome_trace
+
+    soc = get_soc(args.soc)
+    models = _parse_models(args.models)
+    if not models:
+        print("no models given", file=sys.stderr)
+        return 2
+    try:
+        class_specs = parse_class_specs(args.classes)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    try:
+        fast_text, _, slow_text = args.burn_windows.partition(",")
+        fast_windows, slow_windows = int(fast_text), int(slow_text)
+    except ValueError:
+        print(
+            f"bad --burn-windows {args.burn_windows!r}: expected FAST,SLOW",
+            file=sys.stderr,
+        )
+        return 2
+    repeat = max(1, args.repeat)
+    arrival_process = make_arrival_process(
+        args.arrivals,
+        interval_ms=args.interval_ms,
+        seed=args.arrival_seed,
+    )
+    # --follow shares stdout with the human summary but must not
+    # corrupt a --json document; route the live rows to stderr there.
+    follow_out = sys.stderr if args.json else sys.stdout
+
+    with obs.use_recorder(obs.InMemoryRecorder()) as rec:
+        planner = Hetero2PipePlanner(soc)
+        report = planner.plan(models)
+        base_chains = plan_to_chains(report.plan)
+        chains = replicate_chains(base_chains, repeat)
+        base_names = [a.model_name for a in report.plan.assignments]
+        names = base_names * repeat
+        stages = [len(chain) for chain in chains]
+        try:
+            request_specs = resolve_request_specs(names, class_specs)
+        except KeyError as exc:
+            print(str(exc.args[0]), file=sys.stderr)
+            return 2
+
+        engine = DiscreteEventEngine(
+            soc,
+            chains,
+            arrivals=arrival_process,
+            deadline_ms=args.deadline_ms,
+            keep_events=True,
+            record=False,
+        )
+        timeline = TimelineAggregator(
+            [p.name for p in soc.processors], stages, args.window_ms
+        )
+        evaluator = obs.SloEvaluator(
+            request_specs,
+            stages,
+            args.window_ms,
+            fast_windows=fast_windows,
+            slow_windows=slow_windows,
+            burn_threshold=args.burn_threshold,
+        )
+        windows = []
+        cursor = 0
+
+        def _drain() -> None:
+            nonlocal cursor
+            log = engine.event_log
+            for event in log[cursor:]:
+                closed = timeline.observe(event)
+                reports = evaluator.observe(event)
+                windows.extend(closed)
+                if args.follow:
+                    for w in closed:
+                        row = [r for r in reports if r.window == w.window]
+                        print(_follow_line(w, row), file=follow_out)
+                        for r in row:
+                            if r.alert_fired:
+                                print(
+                                    f"  ALERT {r.class_name}: burn "
+                                    f"fast {r.fast_burn:.1f} / slow "
+                                    f"{r.slow_burn:.1f} > "
+                                    f"{args.burn_threshold:.1f}",
+                                    file=follow_out,
+                                )
+            cursor = len(log)
+
+        while engine.step():
+            _drain()
+        _drain()
+        result = engine.result()
+        windows.extend(timeline.finish(result.makespan_ms))
+        evaluator.finish(result.makespan_ms)
+        check = timeline.littles_law()
+
+    alerts = evaluator.alerts
+    if args.jsonl:
+        obs.write_slo_jsonl(
+            args.jsonl, windows, evaluator.window_reports, alerts
+        )
+    if args.trace:
+        write_chrome_trace(
+            result,
+            args.trace,
+            names,
+            recorder=rec,
+            timeline_windows=windows,
+            slo_reports=evaluator.window_reports,
+        )
+    sketch = timeline.latency_sketch
+    if sketch.count:
+        latency = {
+            "count": sketch.count,
+            "mean_ms": sketch.mean,
+            "p50_ms": sketch.p50,
+            "p95_ms": sketch.p95,
+            "p99_ms": sketch.p99,
+        }
+    else:  # nothing completed inside the horizon
+        latency = {
+            "count": 0,
+            "mean_ms": None,
+            "p50_ms": None,
+            "p95_ms": None,
+            "p99_ms": None,
+        }
+    if args.json:
+        doc = {
+            "schema": "hetero2pipe.slo.v1",
+            "soc": soc.name,
+            "models": [m.name for m in models],
+            "repeat": repeat,
+            "requests": len(chains),
+            "arrival_process": args.arrivals,
+            "interval_ms": args.interval_ms,
+            "window_ms": args.window_ms,
+            "burn": {
+                "fast_windows": fast_windows,
+                "slow_windows": slow_windows,
+                "threshold": args.burn_threshold,
+            },
+            "makespan_ms": result.makespan_ms,
+            "throughput_per_s": result.throughput_per_s,
+            "latency": latency,
+            "queueing": {
+                "mean_queueing_delay_ms": result.mean_queueing_delay_ms,
+                "deadline_drops": result.deadline_drops,
+                "completed_requests": result.num_completed,
+            },
+            "classes": evaluator.summary(),
+            "windows": [w.to_dict() for w in windows],
+            "alerts": [a.to_dict() for a in alerts],
+            "littles_law": check.to_dict(),
+            "latency_sketch": sketch.to_dict(),
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"streamed {len(chains)} requests ({repeat}x {len(models)} models) "
+        f"on {soc.name}: {args.arrivals} arrivals, "
+        f"{len(windows)} windows of {args.window_ms:.0f} ms"
+    )
+    if latency["count"]:
+        print(
+            f"latency: p50 {latency['p50_ms']:.1f} ms, "
+            f"p95 {latency['p95_ms']:.1f} ms, p99 {latency['p99_ms']:.1f} ms "
+            f"(sketch, ±{sketch.relative_accuracy * 100:.0f}%)"
+        )
+    else:
+        print("latency: undefined (nothing completed inside the horizon)")
+    for name, summary in evaluator.summary().items():
+        attainment = summary["attainment_frac"]
+        attainment_text = (
+            f"{attainment * 100:.1f}%" if attainment is not None else "--"
+        )
+        print(
+            f"class {name}: {summary['good']}/{summary['requests']} good "
+            f"({attainment_text} vs objective "
+            f"{summary['spec']['objective_frac'] * 100:.0f}%), "
+            f"{summary['alerts']} alert(s)"
+        )
+    for alert in alerts:
+        print(
+            f"ALERT w{alert.window:03d} {alert.class_name}: "
+            f"burn fast {alert.fast_burn:.1f} / slow {alert.slow_burn:.1f} "
+            f"> {alert.threshold:.1f} "
+            f"(budget {alert.budget_remaining_frac * 100:.0f}% left)"
+        )
+    status = "ok" if check.ok else "VIOLATED"
+    print(
+        f"littles-law self-check: {status} "
+        f"(L {check.observed_l:.4f} vs λW {check.expected_l:.4f})"
+    )
+    if args.jsonl:
+        print(f"telemetry written to {args.jsonl}")
+    if args.trace:
+        print(f"chrome trace written to {args.trace}")
     return 0
 
 
@@ -853,6 +1096,103 @@ def build_parser() -> argparse.ArgumentParser:
         "long after its arrival (reported as deadline_drops)",
     )
 
+    slo_parser = sub.add_parser(
+        "slo",
+        help="stream an open-loop run through the timeline + SLO taps; "
+        "report windowed telemetry and burn-rate alerts",
+    )
+    slo_parser.add_argument("--soc", default="kirin990", choices=SOC_NAMES)
+    slo_parser.add_argument("--models", required=True)
+    slo_parser.add_argument(
+        "--repeat",
+        type=int,
+        default=8,
+        metavar="N",
+        help="repeat the model mix N times to form the request stream "
+        "(default: 8)",
+    )
+    slo_parser.add_argument(
+        "--arrivals",
+        default="poisson",
+        choices=("closed", "periodic", "poisson"),
+        help="arrival process driving the run (default: poisson)",
+    )
+    slo_parser.add_argument(
+        "--interval-ms",
+        type=float,
+        default=30.0,
+        metavar="MS",
+        help="(mean) inter-arrival time for periodic/poisson arrivals",
+    )
+    slo_parser.add_argument(
+        "--arrival-seed",
+        type=int,
+        default=0,
+        metavar="SEED",
+        help="RNG seed of the poisson arrival process",
+    )
+    slo_parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="engine admission deadline: drop a request whose first "
+        "slice has not started this long after arrival (drops count "
+        "as SLO-bad)",
+    )
+    slo_parser.add_argument(
+        "--classes",
+        default="*=100",
+        metavar="SPECS",
+        help="comma-separated NAME=DEADLINE_MS[:OBJECTIVE] SLO classes; "
+        "'*' is the wildcard applied per model "
+        "(default: '*=100', objective 0.95)",
+    )
+    slo_parser.add_argument(
+        "--window-ms",
+        type=float,
+        default=50.0,
+        metavar="MS",
+        help="tumbling telemetry window width (default: 50)",
+    )
+    slo_parser.add_argument(
+        "--burn-windows",
+        default="1,12",
+        metavar="FAST,SLOW",
+        help="trailing window counts of the fast/slow burn-rate views "
+        "(default: 1,12)",
+    )
+    slo_parser.add_argument(
+        "--burn-threshold",
+        type=float,
+        default=2.0,
+        metavar="X",
+        help="alert when both burn views exceed X times the sustainable "
+        "budget spend (default: 2.0)",
+    )
+    slo_parser.add_argument(
+        "--follow",
+        action="store_true",
+        help="print a live ASCII dashboard row per closed window "
+        "(to stderr when combined with --json)",
+    )
+    slo_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable document (hetero2pipe.slo.v1)",
+    )
+    slo_parser.add_argument(
+        "--jsonl",
+        metavar="PATH",
+        help="write window/SLO/alert telemetry rows as JSONL",
+    )
+    slo_parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a Chrome trace with utilization / queue-depth / "
+        "burn-rate counter tracks",
+    )
+
     def _add_perturbation_args(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--perturb",
@@ -1055,6 +1395,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "calibrate": _cmd_calibrate,
         "trace": _cmd_trace,
         "stats": _cmd_stats,
+        "slo": _cmd_slo,
         "accuracy": _cmd_accuracy,
         "drift": _cmd_drift,
         "profile": _cmd_profile,

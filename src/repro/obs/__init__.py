@@ -46,12 +46,17 @@ from .events import (
     ProvenanceEvent,
     RequestRelocated,
     SliceChosen,
+    SloBurnAlert,
     TailReplaced,
+    TimelineDiagnostic,
     event_from_dict,
 )
 from .export import (
+    render_slo_jsonl,
     render_telemetry_jsonl,
+    slo_telemetry_rows,
     telemetry_rows,
+    write_slo_jsonl,
     write_telemetry_jsonl,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
@@ -68,6 +73,15 @@ from .prof import (
     speedscope_document,
 )
 from .provenance import reconstruct_plan, render_explanation
+from .sketch import QuantileSketch, merge_all
+from .slo import (
+    SloEvaluator,
+    SloSpec,
+    SloWindowReport,
+    parse_class_specs,
+    resolve_request_specs,
+)
+from .timeline import LittlesLawCheck, TimelineAggregator, WindowStats
 from .recorder import (
     InMemoryRecorder,
     NullRecorder,
@@ -117,10 +131,26 @@ __all__ = [
     "PlacementChanged",
     "TailReplaced",
     "DriftDetected",
+    "SloBurnAlert",
+    "TimelineDiagnostic",
     "EVENT_KINDS",
     "event_from_dict",
     "reconstruct_plan",
     "render_explanation",
+    # streaming telemetry (sketch + timeline + SLO burn rates)
+    "QuantileSketch",
+    "merge_all",
+    "TimelineAggregator",
+    "WindowStats",
+    "LittlesLawCheck",
+    "SloSpec",
+    "SloEvaluator",
+    "SloWindowReport",
+    "parse_class_specs",
+    "resolve_request_specs",
+    "slo_telemetry_rows",
+    "render_slo_jsonl",
+    "write_slo_jsonl",
     # prediction accuracy + drift
     "SliceResidual",
     "RequestResidual",

@@ -321,6 +321,9 @@ def join_execution(
         ValueError: when the two runs do not describe the same plan —
             duplicate slice keys, executed slices with no predicted
             counterpart (or vice versa), or request-count mismatch.
+            Requests the actual run dropped or cancelled are exempt:
+            their predicted slices never ran by design, and they are
+            omitted from the request-level residuals.
     """
     predicted_by: Dict[Tuple[int, int], object] = {}
     for rec in predicted.records:
@@ -367,7 +370,15 @@ def join_execution(
                 finish_ms=rec.finish_ms,
             )
         )
-    unmatched = set(predicted_by) - seen
+    # Requests the actual run dropped (deadline) or cancelled executed
+    # no slices and have no completion latency: their predicted slices
+    # legitimately never ran, and they contribute no request residual.
+    removed = set(getattr(actual, "dropped_requests", ()) or ()) | set(
+        getattr(actual, "cancelled_requests", ()) or ()
+    )
+    unmatched = {
+        key for key in set(predicted_by) - seen if key[0] not in removed
+    }
     if unmatched:
         raise ValueError(
             f"predicted slices never executed: {sorted(unmatched)}"
@@ -381,6 +392,7 @@ def join_execution(
             actual_ms=actual.request_latency_ms(i),
         )
         for i in range(actual.num_requests)
+        if i not in removed
     )
 
     report = ResidualReport(

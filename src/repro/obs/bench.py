@@ -230,9 +230,10 @@ class ScenarioResult:
     phases_exclusive_ms: Dict[str, float] = field(default_factory=dict)
     counters: Dict[str, float] = field(default_factory=dict)
     attributed_frac: Optional[float] = None
+    simulation: Optional[Dict[str, object]] = None
 
     def to_row(self) -> Dict[str, object]:
-        return bench_row(
+        row = bench_row(
             self.scenario,
             self.soc,
             self.samples_ms,
@@ -240,6 +241,37 @@ class ScenarioResult:
             counters=self.counters or None,
             attributed_frac=self.attributed_frac,
         )
+        if self.simulation is not None:
+            row["simulation"] = self.simulation
+        return row
+
+
+def simulation_latency_block(result: object) -> Dict[str, object]:
+    """Simulated-latency summary of an execution, all-dropped-safe.
+
+    ``ExecutionResult.latency_percentile_ms`` raises on a run with no
+    completed requests (the percentile is undefined); every bench/guard
+    consumer goes through this helper instead, which emits ``None``
+    latency fields for such runs — the JSON-facing tri-state the
+    ``stats`` CLI already uses.
+    """
+    completed = result.num_completed  # type: ignore[attr-defined]
+    block: Dict[str, object] = {
+        "completed_requests": completed,
+        "deadline_drops": len(
+            getattr(result, "dropped_requests", ()) or ()
+        ),
+        "makespan_ms": result.makespan_ms,  # type: ignore[attr-defined]
+    }
+    if completed > 0:
+        block["mean_latency_ms"] = result.mean_latency_ms()  # type: ignore[attr-defined]
+        block["p50_latency_ms"] = result.p50_latency_ms  # type: ignore[attr-defined]
+        block["p95_latency_ms"] = result.p95_latency_ms  # type: ignore[attr-defined]
+    else:  # no completion latency exists; emit the tri-state nulls
+        block["mean_latency_ms"] = None
+        block["p50_latency_ms"] = None
+        block["p95_latency_ms"] = None
+    return block
 
 
 def _models() -> List[object]:
@@ -350,10 +382,16 @@ def _run_executor_sim(soc_name: str, rounds: int) -> ScenarioResult:
         lambda: execute_plan(report.plan), rounds
     )
     with use_recorder(InMemoryRecorder()) as rec:
-        execute_plan(report.plan)
+        result = execute_plan(report.plan)
     phases, frac = _phase_snapshot(rec)
     return ScenarioResult(
-        "executor_sim", soc_name, samples, phases, _counter_snapshot(rec), frac
+        "executor_sim",
+        soc_name,
+        samples,
+        phases,
+        _counter_snapshot(rec),
+        frac,
+        simulation=simulation_latency_block(result),
     )
 
 

@@ -198,6 +198,76 @@ class DriftDetected(ProvenanceEvent):
     window: int = -1
 
 
+@dataclass(frozen=True)
+class SloBurnAlert(ProvenanceEvent):
+    """A per-class SLO error budget is burning too fast.
+
+    Emitted by :class:`repro.obs.slo.SloEvaluator` when both the fast
+    and the slow trailing-window burn rates exceed the threshold (the
+    standard multi-window burn-rate alert: the fast window gives low
+    detection latency, the slow window filters transient blips).
+    Edge-triggered: one alert per excursion, re-armed when the
+    condition clears.
+
+    Attributes:
+        class_name: The SLO class that is burning budget.
+        window: Index of the tumbling window whose close fired it.
+        time_ms: Simulated time of that window boundary.
+        fast_burn: Burn rate over the trailing fast-window span.
+        slow_burn: Burn rate over the trailing slow-window span.
+        threshold: The burn-rate threshold both sides exceeded.
+        fast_windows: Trailing windows in the fast view.
+        slow_windows: Trailing windows in the slow view.
+        objective_frac: The class's attainment objective (e.g. 0.95).
+        deadline_ms: The class's latency deadline target.
+        budget_remaining_frac: Whole-run error budget left (can go
+            negative once the budget is exhausted).
+    """
+
+    kind: ClassVar[str] = "slo_burn_alert"
+
+    class_name: str
+    window: int
+    time_ms: float
+    fast_burn: float
+    slow_burn: float
+    threshold: float
+    fast_windows: int
+    slow_windows: int
+    objective_frac: float
+    deadline_ms: float
+    budget_remaining_frac: float
+
+
+@dataclass(frozen=True)
+class TimelineDiagnostic(ProvenanceEvent):
+    """A timeline self-check failed — the fold disagrees with itself.
+
+    Emitted by :class:`repro.obs.timeline.TimelineAggregator` when an
+    internal consistency identity (today only Little's law, ``L = λW``)
+    is violated beyond float tolerance.  Over a complete horizon the
+    identity is exact, so this firing means the fold dropped or
+    double-counted state — a telemetry bug, not a workload property.
+
+    Attributes:
+        check: The identity that failed (``"littles_law"``).
+        observed: The directly folded side (time-average occupancy L).
+        expected: The independently derived side (λ · W).
+        relative_gap_frac: ``|observed - expected|`` over their scale.
+        tolerance_frac: The tolerance the gap exceeded.
+        time_ms: Horizon end when the check ran.
+    """
+
+    kind: ClassVar[str] = "timeline_diagnostic"
+
+    check: str
+    observed: float
+    expected: float
+    relative_gap_frac: float
+    tolerance_frac: float
+    time_ms: float
+
+
 #: kind string -> event class, for deserialization and filtering.
 EVENT_KINDS: Dict[str, type] = {
     cls.kind: cls
@@ -209,6 +279,8 @@ EVENT_KINDS: Dict[str, type] = {
         PlacementChanged,
         TailReplaced,
         DriftDetected,
+        SloBurnAlert,
+        TimelineDiagnostic,
     )
 }
 

@@ -23,9 +23,11 @@ import json
 from typing import Dict, List, Optional, Sequence
 
 from .accuracy import ResidualReport
-from .events import DriftDetected
+from .events import DriftDetected, SloBurnAlert
 from .metrics import MetricsRegistry
+from .slo import SloWindowReport
 from .spans import Span
+from .timeline import WindowStats
 
 #: pid of the simulated-execution timeline in merged traces.
 EXECUTION_PID = 0
@@ -217,6 +219,144 @@ def write_telemetry_jsonl(
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(text)
     return 0 if not text else text.count("\n")
+
+
+def slo_telemetry_rows(
+    windows: Sequence[WindowStats],
+    slo_reports: Sequence[SloWindowReport] = (),
+    alerts: Sequence[SloBurnAlert] = (),
+) -> List[Dict[str, object]]:
+    """Flatten timeline windows + SLO views + alerts into JSONL rows.
+
+    Same contract as :func:`telemetry_rows`: every row carries a
+    ``type`` discriminator — ``window_stats``, ``slo_window`` or
+    ``slo_burn_alert`` — so a consumer can stream-filter without
+    schema knowledge.
+    """
+    rows: List[Dict[str, object]] = []
+    for window in windows:
+        row = window.to_dict()
+        row["type"] = "window_stats"
+        rows.append(row)
+    for report in slo_reports:
+        row = report.to_dict()
+        row["type"] = "slo_window"
+        rows.append(row)
+    for alert in alerts:
+        row = alert.to_dict()
+        row["type"] = "slo_burn_alert"
+        rows.append(row)
+    return rows
+
+
+def render_slo_jsonl(
+    windows: Sequence[WindowStats],
+    slo_reports: Sequence[SloWindowReport] = (),
+    alerts: Sequence[SloBurnAlert] = (),
+) -> str:
+    """The SLO telemetry rows as JSONL text."""
+    lines = [
+        json.dumps(row, sort_keys=True)
+        for row in slo_telemetry_rows(windows, slo_reports, alerts)
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_slo_jsonl(
+    path: str,
+    windows: Sequence[WindowStats],
+    slo_reports: Sequence[SloWindowReport] = (),
+    alerts: Sequence[SloBurnAlert] = (),
+) -> int:
+    """Write the SLO telemetry JSONL to ``path``; returns the row count."""
+    text = render_slo_jsonl(windows, slo_reports, alerts)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    return 0 if not text else text.count("\n")
+
+
+def timeline_counter_events(
+    windows: Sequence[WindowStats],
+    pid: int = EXECUTION_PID,
+    tid: int = 0,
+) -> List[TraceEvent]:
+    """``C`` counter tracks from closed timeline windows.
+
+    One sample per window boundary: per-processor utilization (one
+    merged multi-series track), the time-averaged queue depth, and
+    throughput — anchored on the simulated-execution timeline so they
+    line up under the Gantt.
+    """
+    events: List[TraceEvent] = []
+    for window in windows:
+        ts_us = window.end_ms * 1e3
+        events.append(
+            {
+                "name": "utilization_frac",
+                "cat": "timeline",
+                "ph": "C",
+                "pid": pid,
+                "tid": tid,
+                "ts": ts_us,
+                "args": {
+                    proc: frac
+                    for proc, frac in sorted(
+                        window.utilization_frac.items()
+                    )
+                },
+            }
+        )
+        events.append(
+            {
+                "name": "queue_depth",
+                "cat": "timeline",
+                "ph": "C",
+                "pid": pid,
+                "tid": tid,
+                "ts": ts_us,
+                "args": {
+                    "mean": window.mean_queue_depth,
+                    "end": window.queue_depth_end,
+                },
+            }
+        )
+        events.append(
+            {
+                "name": "throughput_per_s",
+                "cat": "timeline",
+                "ph": "C",
+                "pid": pid,
+                "tid": tid,
+                "ts": ts_us,
+                "args": {"value": window.throughput_per_s},
+            }
+        )
+    return events
+
+
+def burn_rate_counter_events(
+    slo_reports: Sequence[SloWindowReport],
+    pid: int = EXECUTION_PID,
+    tid: int = 0,
+) -> List[TraceEvent]:
+    """``C`` burn-rate tracks, one per SLO class, per window boundary."""
+    events: List[TraceEvent] = []
+    for report in slo_reports:
+        events.append(
+            {
+                "name": f"slo_burn:{report.class_name}",
+                "cat": "slo",
+                "ph": "C",
+                "pid": pid,
+                "tid": tid,
+                "ts": report.end_ms * 1e3,
+                "args": {
+                    "fast": report.fast_burn,
+                    "slow": report.slow_burn,
+                },
+            }
+        )
+    return events
 
 
 def read_telemetry_jsonl(path: str) -> List[Dict[str, object]]:

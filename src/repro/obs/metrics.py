@@ -13,6 +13,7 @@ Everything is plain stdlib; snapshots flush to JSON or aligned text.
 
 from __future__ import annotations
 
+import bisect
 import json
 import math
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -77,11 +78,8 @@ class Histogram:
         self.high = -math.inf
 
     def observe(self, value: float) -> None:
-        idx = len(self.buckets)
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                idx = i
-                break
+        # First bound >= value; past the last bound -> overflow bucket.
+        idx = bisect.bisect_left(self.buckets, value)
         self.counts[idx] += 1
         self.count += 1
         self.total += value

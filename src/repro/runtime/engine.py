@@ -246,9 +246,15 @@ class ExecutionResult:
         return [self.queueing_delay_ms(i) for i in range(self.num_requests)]
 
     @property
-    def mean_queueing_delay_ms(self) -> float:
+    def mean_queueing_delay_ms(self) -> Optional[float]:
+        """Mean wait over requests that started; None if none ever did.
+
+        The tri-state matters: ``0.0`` means every started request was
+        served immediately, ``None`` means nothing started at all (an
+        all-dropped run has no queueing behaviour to report).
+        """
         delays = [d for d in self.queueing_delays_ms() if d is not None]
-        return sum(delays) / len(delays) if delays else 0.0
+        return sum(delays) / len(delays) if delays else None
 
     def request_latency_ms(self, request: int) -> float:
         """Completion latency of one request, from its arrival."""
@@ -572,6 +578,16 @@ class DiscreteEventEngine:
             return False
         self._step()
         return self._outstanding > 0
+
+    @property
+    def event_log(self) -> List[Event]:
+        """The processed-event log so far (``keep_events=True`` only).
+
+        Live view, not a copy: streaming consumers (the timeline and
+        SLO folds) read ``event_log[cursor:]`` between ``step()`` calls
+        instead of re-snapshotting the whole result each window.
+        """
+        return self._events
 
     def result(self) -> ExecutionResult:
         """Snapshot the (possibly still running) simulation state."""

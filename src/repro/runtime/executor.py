@@ -67,6 +67,7 @@ __all__ = [
     "execute_plan",
     "execute_plan_perturbed",
     "plan_to_chains",
+    "replicate_chains",
     "scale_chain_tasks",
     "simulate_chains",
 ]
@@ -167,6 +168,44 @@ def plan_to_chains(plan: "PipelinePlan") -> List[List[ChainTask]]:
             )
         chains.append(chain)
     return chains
+
+
+def replicate_chains(
+    chains: Sequence[Sequence[ChainTask]],
+    copies: int,
+) -> List[List[ChainTask]]:
+    """Tile a chain set into ``copies`` back-to-back request rounds.
+
+    Open-loop streaming runs (the ``slo`` verb, the SLO guard) need far
+    more requests than a plan has models; this builds fresh
+    :class:`ChainTask` instances (engine tasks are mutable — sharing
+    them across requests would corrupt ``remaining_ms``) with request
+    ids offset by ``round * len(chains)``, matching the arrival order
+    of a repeated model mix.
+
+    Raises:
+        ValueError: on a non-positive copy count.
+    """
+    if copies <= 0:
+        raise ValueError(f"copies must be >= 1, got {copies}")
+    replicated: List[List[ChainTask]] = []
+    for round_index in range(copies):
+        offset = round_index * len(chains)
+        for i, chain in enumerate(chains):
+            replicated.append(
+                [
+                    ChainTask(
+                        request=offset + i,
+                        proc=task.proc,
+                        solo_ms=task.solo_ms,
+                        workload=task.workload,
+                        working_set=task.working_set,
+                        stage=task.stage,
+                    )
+                    for task in chain
+                ]
+            )
+    return replicated
 
 
 def scale_chain_tasks(

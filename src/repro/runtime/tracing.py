@@ -244,6 +244,8 @@ def to_chrome_trace(
     request_names: Optional[Sequence[str]] = None,
     recorder: Optional["obs.InMemoryRecorder"] = None,
     residuals: Optional[Sequence["obs.ResidualReport"]] = None,
+    timeline_windows: Optional[Sequence["obs.WindowStats"]] = None,
+    slo_reports: Optional[Sequence["obs.SloWindowReport"]] = None,
 ) -> str:
     """Serialize a run as a Chrome trace (JSON string).
 
@@ -260,6 +262,14 @@ def to_chrome_trace(
             ``prediction_residual_ms`` counter track is drawn on the
             execution timeline, one sample per slice at its finish
             time — drift renders as a rising staircase under the Gantt.
+        timeline_windows: Closed :class:`~repro.obs.WindowStats` rows
+            from a :class:`~repro.obs.TimelineAggregator` fold; when
+            given, per-processor utilization, time-averaged queue depth
+            and throughput counter tracks sample at each window
+            boundary on the execution timeline.
+        slo_reports: Closed :class:`~repro.obs.SloWindowReport` rows
+            from an :class:`~repro.obs.SloEvaluator`; when given, one
+            fast/slow burn-rate counter track per SLO class is drawn.
 
     Returns:
         A JSON document in the Chrome tracing "traceEvents" format with
@@ -312,6 +322,18 @@ def to_chrome_trace(
         events.extend(
             obs_export.residual_counter_events(
                 residuals, pid=obs_export.EXECUTION_PID
+            )
+        )
+    if timeline_windows:
+        events.extend(
+            obs_export.timeline_counter_events(
+                timeline_windows, pid=obs_export.EXECUTION_PID
+            )
+        )
+    if slo_reports:
+        events.extend(
+            obs_export.burn_rate_counter_events(
+                slo_reports, pid=obs_export.EXECUTION_PID
             )
         )
 
@@ -418,12 +440,19 @@ def write_chrome_trace(
     request_names: Optional[Sequence[str]] = None,
     recorder: Optional["obs.InMemoryRecorder"] = None,
     residuals: Optional[Sequence["obs.ResidualReport"]] = None,
+    timeline_windows: Optional[Sequence["obs.WindowStats"]] = None,
+    slo_reports: Optional[Sequence["obs.SloWindowReport"]] = None,
 ) -> None:
     """Write the (optionally merged, see :func:`to_chrome_trace`)
     Chrome trace JSON to a file."""
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(
             to_chrome_trace(
-                result, request_names, recorder=recorder, residuals=residuals
+                result,
+                request_names,
+                recorder=recorder,
+                residuals=residuals,
+                timeline_windows=timeline_windows,
+                slo_reports=slo_reports,
             )
         )

@@ -237,7 +237,7 @@ class TestEventsAndBuffering:
         assert set(obs_events.EVENT_KINDS) == {
             "slice_chosen", "request_relocated", "order_committed",
             "layer_stolen", "placement_changed", "tail_replaced",
-            "drift_detected",
+            "drift_detected", "slo_burn_alert", "timeline_diagnostic",
         }
 
     def test_buffered_events_held_until_commit(self, recorder):

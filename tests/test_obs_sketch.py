@@ -1,0 +1,222 @@
+"""Property and acceptance tests for the mergeable quantile sketch.
+
+The sketch's contract has three legs, each pinned here:
+
+* **Accuracy** — every quantile estimate is within ``relative_accuracy``
+  of the exact nearest-rank sample quantile
+  (``repro.util.percentile(..., method="nearest_rank")``), on random
+  streams (hypothesis) and on a >= 10k-sample acceptance stream.
+* **Mergeability** — merging adds bucket counts, so it is associative,
+  commutative, and per-shard sketches merged in any order equal the
+  single-stream sketch.  Bucket/count state is integer-exact; only the
+  float ``sum`` may drift by reassociation, so it is compared with
+  ``approx_eq`` while quantiles are compared with ``==``.
+* **Transport** — ``to_dict`` output survives a JSON round-trip and
+  ``from_dict`` rebuilds an equivalent sketch.
+"""
+
+import json
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.sketch import (
+    DEFAULT_RELATIVE_ACCURACY,
+    MIN_TRACKABLE_VALUE,
+    QuantileSketch,
+    merge_all,
+)
+from repro.util import approx_eq, percentile
+
+samples = st.lists(
+    st.floats(0.0, 1e6, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=200,
+)
+maybe_empty_samples = st.lists(
+    st.floats(0.0, 1e6, allow_nan=False, allow_infinity=False),
+    max_size=100,
+)
+
+
+def sketch_of(values, alpha=DEFAULT_RELATIVE_ACCURACY):
+    sketch = QuantileSketch(alpha)
+    sketch.extend(values)
+    return sketch
+
+
+def assert_same_distribution(a, b):
+    """Equality modulo float-sum reassociation (see module docstring)."""
+    da, db = a.to_dict(), b.to_dict()
+    sum_a, sum_b = da.pop("sum"), db.pop("sum")
+    assert da == db
+    assert approx_eq(sum_a, sum_b)
+    for q in (0.0, 10.0, 50.0, 90.0, 95.0, 99.0, 100.0):
+        assert a.percentile(q) == b.percentile(q)
+
+
+class TestAccuracy:
+    @given(samples, st.floats(0.0, 100.0, allow_nan=False))
+    @settings(max_examples=200, deadline=None)
+    def test_quantile_within_relative_error_of_exact(self, values, q):
+        sketch = sketch_of(values)
+        exact = percentile(values, q, method="nearest_rank")
+        est = sketch.percentile(q)
+        # Sub-threshold samples collapse into the zero bucket, hence
+        # the tiny absolute slack on top of the relative bound.
+        assert abs(est - exact) <= (
+            sketch.relative_accuracy * exact + MIN_TRACKABLE_VALUE
+        )
+
+    @given(samples)
+    @settings(max_examples=100, deadline=None)
+    def test_extremes_and_exact_side_stats(self, values):
+        sketch = sketch_of(values)
+        assert sketch.percentile(0.0) == min(values)
+        assert sketch.percentile(100.0) == max(values)
+        assert sketch.count == len(values) == len(sketch)
+        assert sketch.low == min(values)
+        assert sketch.high == max(values)
+        assert approx_eq(sketch.total, sum(values))
+        assert approx_eq(sketch.mean, sum(values) / len(values))
+
+    def test_acceptance_10k_stream_p50_p95_p99(self):
+        # ISSUE acceptance: >= 10k samples, three latency scales mixed
+        # (a bimodal fast/slow path plus a heavy exponential tail).
+        rng = random.Random(42)
+        values = (
+            [rng.uniform(0.5, 3.0) for _ in range(6000)]
+            + [rng.uniform(20.0, 60.0) for _ in range(4000)]
+            + [rng.expovariate(1 / 200.0) for _ in range(2000)]
+        )
+        sketch = sketch_of(values)
+        assert sketch.count == 12000
+        for q in (50.0, 95.0, 99.0):
+            exact = percentile(values, q, method="nearest_rank")
+            est = sketch.percentile(q)
+            assert abs(est - exact) <= sketch.relative_accuracy * exact
+
+    def test_tighter_accuracy_narrows_the_bound(self):
+        rng = random.Random(7)
+        values = [rng.expovariate(1 / 30.0) + 0.1 for _ in range(5000)]
+        fine = sketch_of(values, alpha=0.001)
+        exact = percentile(values, 99.0, method="nearest_rank")
+        assert abs(fine.percentile(99.0) - exact) <= 0.001 * exact
+
+
+class TestValidation:
+    def test_rejects_bad_accuracy(self):
+        for alpha in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError):
+                QuantileSketch(alpha)
+
+    def test_rejects_bad_values(self):
+        sketch = QuantileSketch()
+        for value in (-1.0, math.nan, math.inf):
+            with pytest.raises(ValueError):
+                sketch.insert(value)
+
+    def test_empty_sketch_percentile_raises(self):
+        with pytest.raises(ValueError):
+            QuantileSketch().percentile(50.0)
+
+    def test_out_of_range_q_raises(self):
+        sketch = sketch_of([1.0])
+        with pytest.raises(ValueError):
+            sketch.percentile(101.0)
+        with pytest.raises(ValueError):
+            sketch.percentile(-1.0)
+
+    def test_merge_rejects_mismatched_accuracy(self):
+        with pytest.raises(ValueError):
+            QuantileSketch(0.01).merge(QuantileSketch(0.05))
+
+    def test_merge_all_of_nothing_raises(self):
+        with pytest.raises(ValueError):
+            merge_all([])
+
+
+class TestMerge:
+    @given(maybe_empty_samples, maybe_empty_samples)
+    @settings(max_examples=100, deadline=None)
+    def test_commutative(self, a, b):
+        da = sketch_of(a).merge(sketch_of(b)).to_dict()
+        db = sketch_of(b).merge(sketch_of(a)).to_dict()
+        assert da.pop("sum") == pytest.approx(db.pop("sum"), abs=1e-6)
+        assert da == db
+
+    @given(maybe_empty_samples, maybe_empty_samples, maybe_empty_samples)
+    @settings(max_examples=100, deadline=None)
+    def test_associative(self, a, b, c):
+        left = sketch_of(a).merge(sketch_of(b)).merge(sketch_of(c))
+        right = sketch_of(a).merge(sketch_of(b).merge(sketch_of(c)))
+        dl, dr = left.to_dict(), right.to_dict()
+        assert dl.pop("sum") == pytest.approx(dr.pop("sum"), abs=1e-6)
+        assert dl == dr
+
+    @given(samples, st.integers(1, 8))
+    @settings(max_examples=100, deadline=None)
+    def test_shard_merge_equals_single_stream(self, values, shards):
+        whole = sketch_of(values)
+        parts = [sketch_of(values[i::shards]) for i in range(shards)]
+        merged = merge_all(parts)
+        assert_same_distribution(merged, whole)
+
+    def test_shard_merge_acceptance_10k(self):
+        # The ISSUE acceptance criterion, at scale and in both merge
+        # orders: per-shard sketches merged together equal the sketch
+        # of the full concatenated stream.
+        rng = random.Random(99)
+        values = [rng.expovariate(1 / 45.0) for _ in range(10000)]
+        whole = sketch_of(values)
+        parts = [sketch_of(values[i::5]) for i in range(5)]
+        assert_same_distribution(merge_all(parts), whole)
+        assert_same_distribution(merge_all(reversed(parts)), whole)
+
+    def test_merge_does_not_mutate_operand(self):
+        other = sketch_of([1.0, 2.0])
+        before = other.to_dict()
+        sketch_of([3.0]).merge(other)
+        assert other.to_dict() == before
+
+    def test_copy_is_independent(self):
+        sketch = sketch_of([1.0, 2.0])
+        clone = sketch.copy()
+        clone.insert(100.0)
+        assert sketch.count == 2
+        assert clone.count == 3
+
+
+class TestSerialization:
+    @given(maybe_empty_samples)
+    @settings(max_examples=100, deadline=None)
+    def test_json_round_trip(self, values):
+        sketch = sketch_of(values)
+        doc = json.loads(json.dumps(sketch.to_dict(), sort_keys=True))
+        rebuilt = QuantileSketch.from_dict(doc)
+        assert rebuilt.to_dict() == sketch.to_dict()
+        if values:
+            for q in (0.0, 50.0, 95.0, 100.0):
+                assert rebuilt.percentile(q) == sketch.percentile(q)
+
+    def test_empty_dict_shape(self):
+        doc = QuantileSketch().to_dict()
+        assert doc["count"] == 0
+        assert doc["min"] is None and doc["max"] is None
+        assert doc["buckets"] == {}
+
+    def test_from_dict_rejects_negative_bucket(self):
+        doc = sketch_of([1.0]).to_dict()
+        doc["buckets"] = {"3": -1}
+        with pytest.raises(ValueError):
+            QuantileSketch.from_dict(doc)
+
+    def test_bucket_keys_are_strings(self):
+        doc = sketch_of([0.5, 5.0, 50.0]).to_dict()
+        assert all(isinstance(k, str) for k in doc["buckets"])
+        assert all(
+            isinstance(n, int) and n > 0 for n in doc["buckets"].values()
+        )

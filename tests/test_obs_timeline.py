@@ -1,0 +1,275 @@
+"""Timeline fold tests: fake-clock exactness and real-engine agreement.
+
+The :class:`~repro.obs.timeline.TimelineAggregator` is a pure fold over
+the engine's event stream, so everything it derives can be checked two
+ways: against a hand-integrated fake-clock stream where every integral
+is known in closed form, and against the engine's own accounting
+(``processor_busy_ms``) on a real run.  The Little's-law self-check is
+exercised in both directions — exact on a consistent stream, and firing
+a :class:`~repro.obs.events.TimelineDiagnostic` through the provenance
+recorder on a corrupted one.
+"""
+
+import pytest
+
+from repro import obs
+from repro.core.planner import Hetero2PipePlanner
+from repro.hardware.soc import get_soc
+from repro.models.zoo import get_model
+from repro.obs.events import event_from_dict
+from repro.obs.timeline import TimelineAggregator
+from repro.runtime.arrivals import PoissonArrivals
+from repro.runtime.engine import DiscreteEventEngine, Event
+from repro.runtime.executor import plan_to_chains, replicate_chains
+
+KIRIN = get_soc("kirin990")
+
+
+def ev(time_ms, kind, request=None, processor=None, detail=""):
+    return Event(
+        time_ms=time_ms,
+        kind=kind,
+        request=request,
+        processor=processor,
+        detail=detail,
+    )
+
+
+#: A two-request hand trace: request 0 runs cpu [0,4] then gpu [4,9]
+#: (two stages); request 1 arrives at 5, waits for the cpu until 9,
+#: runs [9,12].  Every integral below is computed by hand from this.
+HAND_STREAM = [
+    ev(0.0, "arrival", request=0),
+    ev(0.0, "task_ready", request=0, processor="cpu"),
+    ev(4.0, "departure", request=0, processor="cpu"),
+    ev(4.0, "task_ready", request=0, processor="gpu"),
+    ev(5.0, "arrival", request=1),
+    ev(9.0, "departure", request=0, processor="gpu"),
+    ev(9.0, "task_ready", request=1, processor="cpu"),
+    ev(12.0, "departure", request=1, processor="cpu"),
+]
+
+
+def folded_hand_stream(window_ms=10.0):
+    agg = TimelineAggregator(["cpu", "gpu"], [2, 1], window_ms)
+    windows = agg.observe_many(HAND_STREAM)
+    windows.extend(agg.finish(20.0))
+    return agg, windows
+
+
+class TestFakeClockFold:
+    def test_busy_time_integrates_exactly(self):
+        agg, _ = folded_hand_stream()
+        assert agg.busy_ms("cpu") == 7.0  # [0,4] + [9,12]
+        assert agg.busy_ms("gpu") == 5.0  # [4,9]
+        assert agg.busy_ms("npu") == 0.0  # never seen
+
+    def test_windowed_utilization_reconstructs_busy_time(self):
+        agg, windows = folded_hand_stream()
+        for proc in ("cpu", "gpu"):
+            integrated = sum(
+                w.utilization_frac[proc] * (w.end_ms - w.start_ms)
+                for w in windows
+            )
+            assert integrated == pytest.approx(agg.busy_ms(proc), abs=1e-12)
+
+    def test_window_rows_match_hand_integrals(self):
+        _, windows = folded_hand_stream()
+        assert [w.window for w in windows] == [0, 1]
+        w0, w1 = windows
+        assert (w0.start_ms, w0.end_ms) == (0.0, 10.0)
+        assert (w1.start_ms, w1.end_ms) == (10.0, 20.0)
+        # Window 0: request 1 waits on the cpu during [5,9] only.
+        assert w0.arrivals == 2 and w0.completions == 1
+        assert w0.utilization_frac == {"cpu": 0.5, "gpu": 0.5}
+        assert w0.mean_queue_depth == pytest.approx(0.4)  # 4 ms / 10 ms
+        assert w0.queue_depth_end == 0
+        assert w0.mean_in_system == pytest.approx(1.4)  # 14 ms / 10 ms
+        assert w0.backlog_age_ms == pytest.approx(5.0)  # req 1, arrived at 5
+        assert w0.throughput_per_s == pytest.approx(100.0)
+        assert w0.p50_ms == pytest.approx(9.0, rel=0.01)
+        # Window 1: only request 1's tail [10,12], then idle to 20.
+        assert w1.arrivals == 0 and w1.completions == 1
+        assert w1.utilization_frac == {"cpu": 0.2, "gpu": 0.0}
+        assert w1.mean_in_system == pytest.approx(0.2)
+        assert w1.backlog_age_ms is None
+        assert w1.p50_ms == pytest.approx(7.0, rel=0.01)
+
+    def test_littles_law_exact_on_consistent_stream(self):
+        agg, _ = folded_hand_stream()
+        check = agg.littles_law()
+        assert check.ok
+        # L = (14 + 2) / 20; λW = (2/20) * ((9 + 7)/2) — both 0.8.
+        assert check.observed_l == pytest.approx(0.8)
+        assert check.expected_l == pytest.approx(0.8)
+        assert check.relative_gap_frac <= 1e-12
+
+    def test_latency_sketch_tracks_completions(self):
+        agg, _ = folded_hand_stream()
+        assert agg.latency_sketch.count == 2
+        assert agg.latency_sketch.low == pytest.approx(7.0)
+        assert agg.latency_sketch.high == pytest.approx(9.0)
+
+    def test_deadline_drop_vs_cancellation_split(self):
+        agg = TimelineAggregator(["cpu"], [1, 1, 1], 100.0)
+        windows = agg.observe_many(
+            [
+                ev(0.0, "arrival", request=0),
+                ev(1.0, "arrival", request=1),
+                ev(2.0, "arrival", request=2),
+                ev(3.0, "cancellation", request=0, detail="deadline"),
+                ev(4.0, "cancellation", request=1, detail="user"),
+            ]
+        )
+        windows.extend(agg.finish(10.0))
+        (w,) = windows
+        assert w.drops == 1
+        assert w.cancellations == 1
+        assert w.completions == 0
+        assert w.p50_ms is None  # nothing completed
+        assert agg.queue_depth() == 1  # request 2 still waiting
+
+    def test_rate_change_and_preemption_carry_no_occupancy(self):
+        agg = TimelineAggregator(["cpu"], [1], 100.0)
+        agg.observe_many(
+            [
+                ev(0.0, "arrival", request=0),
+                ev(0.0, "task_ready", request=0, processor="cpu"),
+                ev(2.0, "rate_change", processor="cpu", detail="x0.5"),
+                ev(5.0, "preemption", request=0, processor="cpu"),
+            ]
+        )
+        agg.finish(10.0)
+        assert agg.busy_ms("cpu") == 5.0  # busy [0,5], idle after preempt
+
+    def test_interarrival_cv_periodic_vs_none(self):
+        agg = TimelineAggregator(["cpu"], [1] * 4, 1000.0)
+        windows = agg.observe_many(
+            [ev(10.0 * i, "arrival", request=i) for i in range(4)]
+        )
+        windows.extend(agg.finish(40.0))
+        assert windows[-1].interarrival_cv == pytest.approx(0.0)  # periodic
+        single = TimelineAggregator(["cpu"], [1], 1000.0)
+        rows = single.observe_many([ev(0.0, "arrival", request=0)])
+        rows.extend(single.finish(1.0))
+        assert rows[-1].interarrival_cv is None  # fewer than two gaps
+
+    def test_window_boundaries_tile_the_horizon(self):
+        agg, windows = folded_hand_stream(window_ms=3.0)
+        assert windows[0].start_ms == 0.0
+        assert windows[-1].end_ms == 20.0
+        for prev, cur in zip(windows, windows[1:]):
+            assert cur.start_ms == prev.end_ms
+            assert cur.window == prev.window + 1
+
+
+class TestFoldContract:
+    def test_time_backwards_raises(self):
+        agg = TimelineAggregator(["cpu"], [1], 10.0)
+        agg.observe(ev(5.0, "arrival", request=0))
+        with pytest.raises(ValueError):
+            agg.observe(ev(1.0, "departure", request=0, processor="cpu"))
+
+    def test_observe_after_finish_raises(self):
+        agg = TimelineAggregator(["cpu"], [1], 10.0)
+        agg.finish(1.0)
+        with pytest.raises(RuntimeError):
+            agg.observe(ev(2.0, "arrival", request=0))
+        assert agg.finish(2.0) == []  # idempotent
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimelineAggregator(["cpu"], [1], 0.0)
+        with pytest.raises(ValueError):
+            TimelineAggregator([], [1], 10.0)
+
+    def test_empty_run_emits_one_zero_window(self):
+        agg = TimelineAggregator(["cpu"], [], 10.0)
+        (w,) = agg.finish(0.0)
+        assert w.arrivals == 0 and w.completions == 0
+        assert w.throughput_per_s == 0.0
+        assert agg.littles_law().ok
+
+    def test_window_stats_to_dict_is_json_shaped(self):
+        _, windows = folded_hand_stream()
+        doc = windows[0].to_dict()
+        assert doc["window"] == 0
+        assert list(doc["utilization_frac"]) == sorted(
+            doc["utilization_frac"]
+        )
+
+    def test_littles_law_violation_emits_diagnostic(self):
+        # A duplicate arrival id corrupts the fold's sojourn accounting
+        # (arrivals_total counts 2, occupancy only ever sees 1), so the
+        # identity must break and the diagnostic must replay.
+        agg = TimelineAggregator(["cpu"], [1], 1000.0)
+        with obs.use_recorder(obs.InMemoryRecorder()) as rec:
+            agg.observe(ev(0.0, "arrival", request=0))
+            agg.observe(ev(10.0, "arrival", request=0))
+            agg.finish(100.0)
+            check = agg.littles_law()
+        assert not check.ok
+        diagnostics = [
+            e for e in rec.events if e.kind == "timeline_diagnostic"
+        ]
+        assert len(diagnostics) == 1
+        diag = diagnostics[0]
+        assert diag.check == "littles_law"
+        assert event_from_dict(diag.to_dict()) == diag
+
+    def test_no_diagnostic_when_recorder_disabled(self):
+        agg = TimelineAggregator(["cpu"], [1], 1000.0)
+        agg.observe(ev(0.0, "arrival", request=0))
+        agg.observe(ev(10.0, "arrival", request=0))
+        agg.finish(100.0)
+        assert not agg.littles_law().ok  # check still reports, no emit
+
+
+class TestEngineAgreement:
+    def _fold_run(self, arrivals=None, deadline_ms=None):
+        models = [get_model(n) for n in ("squeezenet", "mobilenetv2")]
+        report = Hetero2PipePlanner(KIRIN).plan(models)
+        chains = replicate_chains(plan_to_chains(report.plan), 3)
+        engine = DiscreteEventEngine(
+            KIRIN,
+            chains,
+            arrivals=arrivals,
+            deadline_ms=deadline_ms,
+            keep_events=True,
+            record=False,
+        )
+        agg = TimelineAggregator(
+            [p.name for p in KIRIN.processors],
+            [len(c) for c in chains],
+            window_ms=20.0,
+        )
+        cursor = 0
+        while engine.step():
+            log = engine.event_log
+            agg.observe_many(log[cursor:])
+            cursor = len(log)
+        agg.observe_many(engine.event_log[cursor:])
+        result = engine.result()
+        agg.finish(result.makespan_ms)
+        return agg, result
+
+    def test_busy_time_matches_engine_accounting(self):
+        agg, result = self._fold_run()
+        for proc, busy in result.processor_busy_ms.items():
+            assert agg.busy_ms(proc) == pytest.approx(busy, abs=1e-9)
+
+    def test_completions_and_littles_law_on_real_run(self):
+        agg, result = self._fold_run(
+            arrivals=PoissonArrivals(interval_ms=40.0, seed=3)
+        )
+        assert agg.latency_sketch.count == result.num_completed
+        check = agg.littles_law()
+        assert check.ok, check
+
+    def test_all_dropped_run_folds_clean(self):
+        # deadline 0 cancels every request before any stage starts.
+        agg, result = self._fold_run(deadline_ms=0.0)
+        assert result.num_completed == 0
+        assert agg.latency_sketch.count == 0
+        assert agg.queue_depth() == 0  # drops removed everything
+        assert agg.littles_law().ok

@@ -500,4 +500,6 @@ class TestExecutionResultExtensions:
         )
         assert result.first_start_ms(0) is None
         assert result.queueing_delay_ms(0) is None
-        assert result.mean_queueing_delay_ms == 0.0
+        # Tri-state: None (nothing ever started) is distinguishable
+        # from a genuine zero-wait run.
+        assert result.mean_queueing_delay_ms is None

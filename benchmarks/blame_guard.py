@@ -1,0 +1,214 @@
+"""CI guard: the blame layer's accounting identities must hold exactly.
+
+The causal-attribution layer (``repro.obs.blame`` / ``repro.obs.whatif``)
+is only trustworthy if its numbers *provably* add up, so this guard pins
+the three identities on every registered SoC:
+
+* **Per-request decomposition** — each request's end-to-end latency
+  must equal busy-wait + residency-wait + scheduler-wait + preemption +
+  executed solo compute + contention inflation with residue
+  ``<= RESIDUE_TOLERANCE_MS``.  Checked on a closed-loop run of the
+  planned mix *and* on an open-loop seeded-Poisson run with an
+  admission deadline (drops and queueing must not break the identity).
+* **Critical-path tiling** — the exact enablement-walk path's gaps +
+  durations must tile ``[0, makespan]`` with the same residue bound.
+* **Zero-intervention bit-exactness** — re-simulating under the empty
+  (``baseline``) intervention must reproduce the original
+  ``ExecutionResult`` float-exactly (``results_identical``, strict
+  ``==`` on every record, timestamp and causality row).  Any drift here
+  means the counterfactual engine diverged from the real one and every
+  what-if delta is suspect.
+
+A heuristic-vs-exact comparison of the deprecated replay
+``critical_chain`` walk against the exact path is written as a JSON
+artifact so heuristic mismatches stay observable (the heuristic is not
+gated — coincidental timestamp matches legitimately diverge).
+
+Run directly (exit code 0/1, used by the ``blame-guard`` CI job)::
+
+    PYTHONPATH=src python benchmarks/blame_guard.py [critical-path.json]
+"""
+
+import json
+import sys
+
+from repro.core.planner import Hetero2PipePlanner
+from repro.hardware.soc import get_soc
+from repro.models.zoo import get_model
+from repro.obs.blame import blame_requests, extract_critical_path
+from repro.obs.whatif import WhatIf, run_counterfactual, results_identical
+from repro.runtime.arrivals import PoissonArrivals, resolve_arrivals
+from repro.runtime.executor import (
+    plan_to_chains,
+    replicate_chains,
+    simulate_chains,
+)
+from repro.runtime.replay import critical_chain
+
+SOCS = ("kirin990", "snapdragon778g", "snapdragon870")
+MODEL_MIX = ("squeezenet", "mobilenetv2", "resnet50")
+#: Open-loop variant: rounds of the mix under seeded Poisson arrivals.
+REPEAT = 4
+ARRIVAL_SEED = 11
+#: Mean inter-arrival as a fraction of one closed-loop mix makespan —
+#: fast enough that requests genuinely queue (waits are non-trivial).
+ARRIVAL_FRACTION = 0.15
+#: Admission deadline in closed-loop-makespan units; tight enough that
+#: the overload run actually drops requests on at least one SoC.
+DEADLINE_FACTOR = 1.5
+RESIDUE_TOLERANCE_MS = 1e-9
+DEFAULT_ARTIFACT = "critical-path.json"
+
+
+def _planned_chains(soc_name, repeat):
+    soc = get_soc(soc_name)
+    models = [get_model(name) for name in MODEL_MIX]
+    report = Hetero2PipePlanner(soc).plan(models)
+    return soc, replicate_chains(plan_to_chains(report.plan), repeat)
+
+
+def _check_identities(label, result):
+    """Residue checks for one run; returns a list of failure strings."""
+    failures = []
+    requests = blame_requests(result)
+    worst = max((abs(r.residue_ms) for r in requests), default=0.0)
+    if worst > RESIDUE_TOLERANCE_MS:
+        failures.append(
+            f"{label}: request residue {worst:.3e} ms "
+            f"> {RESIDUE_TOLERANCE_MS:.0e}"
+        )
+    path = extract_critical_path(result)
+    if abs(path.residue_ms) > RESIDUE_TOLERANCE_MS:
+        failures.append(
+            f"{label}: critical-path residue {path.residue_ms:.3e} ms "
+            f"> {RESIDUE_TOLERANCE_MS:.0e}"
+        )
+    if result.records and not path.segments:
+        failures.append(f"{label}: empty critical path for a non-empty run")
+    print(
+        f"  {label}: {len(requests)} requests, worst residue {worst:.1e} ms, "
+        f"path {len(path.segments)} segments "
+        f"(residue {path.residue_ms:.1e} ms)"
+    )
+    return failures
+
+
+def _path_comparison(soc_name, result):
+    """Heuristic ``critical_chain`` vs the exact path, as artifact rows."""
+    exact = extract_critical_path(result)
+    heuristic = critical_chain(result, prefer_exact=False)
+    exact_keys = [
+        (seg.request, seg.index)
+        for seg in exact.segments
+        if seg.start_ms is not None
+    ]
+    heuristic_keys = [(rec.request, rec.stage) for rec in heuristic]
+    return {
+        "soc": soc_name,
+        "makespan_ms": result.makespan_ms,
+        "exact_segments": [seg.to_dict() for seg in exact.segments],
+        "exact_residue_ms": exact.residue_ms,
+        "heuristic_chain": [
+            {
+                "request": rec.request,
+                "stage": rec.stage,
+                "processor": rec.processor,
+                "start_ms": rec.start_ms,
+                "finish_ms": rec.finish_ms,
+            }
+            for rec in heuristic
+        ],
+        "heuristic_matches_exact": heuristic_keys == exact_keys,
+    }
+
+
+def identity_runs():
+    """Closed-loop and queued open-loop identity checks per SoC."""
+    failures = []
+    comparisons = []
+    for soc_name in SOCS:
+        soc, closed_chains = _planned_chains(soc_name, repeat=1)
+        closed = simulate_chains(soc, closed_chains, record=False)
+        failures.extend(_check_identities(f"{soc_name} closed", closed))
+        comparisons.append(_path_comparison(soc_name, closed))
+
+        interval_ms = closed.makespan_ms * ARRIVAL_FRACTION
+        deadline_ms = closed.makespan_ms * DEADLINE_FACTOR
+        _, open_chains = _planned_chains(soc_name, repeat=REPEAT)
+        open_result = simulate_chains(
+            soc,
+            open_chains,
+            arrivals=PoissonArrivals(
+                interval_ms=interval_ms, seed=ARRIVAL_SEED
+            ),
+            deadline_ms=deadline_ms,
+            record=False,
+        )
+        label = (
+            f"{soc_name} open ({len(open_result.dropped_requests)} dropped)"
+        )
+        failures.extend(_check_identities(label, open_result))
+    return failures, comparisons
+
+
+def baseline_bit_exactness():
+    """The empty intervention must reproduce the run float-exactly."""
+    failures = []
+    for soc_name in SOCS:
+        soc, chains = _planned_chains(soc_name, repeat=REPEAT)
+        arrivals = resolve_arrivals(
+            len(chains),
+            PoissonArrivals(interval_ms=12.0, seed=ARRIVAL_SEED),
+        )
+        original = simulate_chains(
+            soc, chains, arrivals=arrivals, record=False
+        )
+        # `chains` is now mutated (remaining_ms consumed); the
+        # counterfactual must still reproduce `original` from clones.
+        replayed, _ = run_counterfactual(
+            soc, chains, WhatIf(kind="baseline"), arrivals=arrivals
+        )
+        identical = results_identical(original, replayed)
+        print(
+            f"  {soc_name:15s}: baseline counterfactual "
+            f"{'bit-exact' if identical else 'DIVERGED'} "
+            f"(makespan {original.makespan_ms:.3f} ms)"
+        )
+        if not identical:
+            failures.append(f"{soc_name}: baseline counterfactual diverged")
+    return failures
+
+
+def main(argv=None):
+    argv = list(sys.argv[1:] if argv is None else argv)
+    artifact = argv[0] if argv else DEFAULT_ARTIFACT
+
+    print("blame guard: accounting identities")
+    failures, comparisons = identity_runs()
+    print("blame guard: zero-intervention bit-exactness")
+    failures.extend(baseline_bit_exactness())
+
+    with open(artifact, "w", encoding="utf-8") as fh:
+        json.dump(
+            {"schema": "hetero2pipe.blame-guard.v1", "socs": comparisons},
+            fh,
+            indent=2,
+            sort_keys=True,
+        )
+    agree = sum(1 for c in comparisons if c["heuristic_matches_exact"])
+    print(
+        f"  comparison artifact: {artifact} "
+        f"(heuristic matched exact path on {agree}/{len(comparisons)} SoCs)"
+    )
+
+    if failures:
+        print("blame guard: FAIL")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("blame guard: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

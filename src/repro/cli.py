@@ -40,6 +40,15 @@ Subcommands:
   EWMA/CUSUM drift detectors and the replan trigger live; reports every
   ``DriftDetected`` event and drift-triggered replan (``--json`` emits
   ``hetero2pipe.drift.v1``; ``--jsonl`` writes telemetry).
+* ``blame --soc X --models a,b`` — causal latency attribution for one
+  run: every request's latency decomposed exactly into wait states +
+  solo compute + contention inflation (zero residue), the exact
+  critical path over the recorded dependency DAG, aggregate blame
+  tables and optional what-if counterfactuals
+  (``--whatif 'scale:gpu:2,no-contention'``, ``--json`` emits
+  ``hetero2pipe.blame.v1``, ``--jsonl`` writes the blame telemetry
+  rows, ``--trace`` a Chrome trace with the critical path highlighted
+  and wait-state-colored slices).
 * ``lint [paths] [--format text|json|sarif] [--plans] [--baseline
   FILE [--update-baseline]]`` — run the static-analysis subsystem
   (AST rules, dataflow unit/concurrency rules, import layering, plan
@@ -587,6 +596,143 @@ def _cmd_slo(args: argparse.Namespace) -> int:
         print(f"telemetry written to {args.jsonl}")
     if args.trace:
         print(f"chrome trace written to {args.trace}")
+    return 0
+
+
+def _cmd_blame(args: argparse.Namespace) -> int:
+    from .obs.blame import (
+        aggregate_blame,
+        blame_requests,
+        extract_critical_path,
+    )
+    from .obs.export import write_blame_jsonl
+    from .obs.whatif import parse_whatifs, run_whatifs
+    from .runtime.arrivals import resolve_arrivals
+    from .runtime.executor import plan_to_chains, replicate_chains
+    from .runtime.tracing import write_chrome_trace
+
+    soc = get_soc(args.soc)
+    models = _parse_models(args.models)
+    if not models:
+        print("no models given", file=sys.stderr)
+        return 2
+    try:
+        whatifs = parse_whatifs(args.whatif) if args.whatif else []
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    repeat = max(1, args.repeat)
+    arrival_process = make_arrival_process(
+        args.arrivals,
+        interval_ms=args.interval_ms,
+        seed=args.arrival_seed,
+    )
+    planner = Hetero2PipePlanner(soc)
+    report = planner.plan(models)
+    chains = replicate_chains(plan_to_chains(report.plan), repeat)
+    base_names = [a.model_name for a in report.plan.assignments]
+    names = base_names * repeat
+    # Materialize arrival times so the counterfactuals (fresh engine
+    # runs) see the exact same floats as the baseline.
+    arrivals = resolve_arrivals(len(chains), arrival_process)
+
+    baseline, whatif_reports = run_whatifs(
+        soc,
+        chains,
+        whatifs,
+        arrivals=arrivals,
+        deadline_ms=args.deadline_ms,
+    )
+    requests = blame_requests(baseline, request_models=names)
+    path = extract_critical_path(baseline)
+    aggregates = aggregate_blame(baseline, request_models=names)
+    worst_residue = max(
+        (abs(r.residue_ms) for r in requests), default=0.0
+    )
+
+    if args.jsonl:
+        rows = write_blame_jsonl(args.jsonl, requests, path, whatif_reports)
+    if args.trace:
+        write_chrome_trace(baseline, args.trace, names, blame=True)
+    if args.json:
+        doc = {
+            "schema": "hetero2pipe.blame.v1",
+            "soc": soc.name,
+            "models": [m.name for m in models],
+            "repeat": repeat,
+            "requests": len(chains),
+            "arrival_process": args.arrivals,
+            "makespan_ms": baseline.makespan_ms,
+            "identity": {
+                "worst_request_residue_ms": worst_residue,
+                "critical_path_residue_ms": path.residue_ms,
+            },
+            "blame": [r.to_dict() for r in requests],
+            "critical_path": path.to_dict(),
+            "aggregates": aggregates,
+            "whatifs": [w.to_dict() for w in whatif_reports],
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+
+    print(
+        f"blamed {len(chains)} requests ({repeat}x {len(models)} models) "
+        f"on {soc.name}: makespan {baseline.makespan_ms:.1f} ms, "
+        f"worst accounting residue {worst_residue:.2e} ms"
+    )
+    for r in requests:
+        print(
+            f"  {r.request}: {r.model:14s} {r.status:9s} "
+            f"latency {r.latency_ms:8.1f} ms = "
+            f"solo {r.solo_ms:.1f} + contention {r.contention_ms:.1f} + "
+            f"busy-wait {r.processor_busy_wait_ms:.1f} + "
+            f"residency {r.residency_wait_ms:.1f} + "
+            f"sched {r.scheduler_wait_ms:.1f} + "
+            f"preempted {r.preempted_ms:.1f}"
+        )
+    print(
+        f"critical path: {len(path.segments)} segments covering "
+        f"{path.makespan_ms:.1f} ms "
+        f"(gaps {path.total_gap_ms:.1f} ms, "
+        f"residue {path.residue_ms:.2e} ms)"
+    )
+    for seg in path.segments:
+        gap = f" after {seg.gap_ms:.1f} ms {seg.gap_cause} gap" if seg.gap_ms > 1e-6 else ""
+        print(
+            f"  req {seg.request} stage {seg.stage} on {seg.processor}: "
+            f"{seg.duration_ms:.1f} ms{gap}"
+        )
+    print("blame by processor:")
+    for proc, row in aggregates["by_processor"].items():
+        print(
+            f"  {proc:10s} solo {row['solo_ms']:8.1f} ms  "
+            f"contention {row['contention_ms']:7.1f} ms  "
+            f"busy-wait {row['processor_busy_wait_ms']:7.1f} ms  "
+            f"residency {row['residency_wait_ms']:7.1f} ms"
+        )
+    for pair in aggregates["corun_pairs"]:
+        print(
+            f"  co-run: {pair['processor']} suffers "
+            f"{pair['inflation_ms']:.1f} ms from {pair['co_runner']}"
+        )
+    for w in whatif_reports:
+        p95 = (
+            f", p95 {w.delta_p95_ms:+.1f} ms"
+            if w.delta_p95_ms is not None
+            else ""
+        )
+        print(
+            f"what-if {w.intervention}: makespan "
+            f"{w.makespan_ms:.1f} ms ({w.delta_makespan_ms:+.1f} ms{p95}, "
+            f"{w.completed} completed, {w.delta_completed:+d})"
+        )
+    if args.jsonl:
+        print(f"blame telemetry: {rows} rows written to {args.jsonl}")
+    if args.trace:
+        print(
+            f"chrome trace (critical path + wait states) written to "
+            f"{args.trace}"
+        )
     return 0
 
 
@@ -1374,6 +1520,73 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the hetero2pipe.bench.v1 document to stdout",
     )
 
+    blame_parser = sub.add_parser(
+        "blame",
+        help="causal latency attribution: exact wait-state blame, "
+        "critical path and what-if counterfactuals",
+    )
+    blame_parser.add_argument("--soc", default="kirin990", choices=SOC_NAMES)
+    blame_parser.add_argument("--models", required=True)
+    blame_parser.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        metavar="N",
+        help="repeat the model mix N times to form the request stream",
+    )
+    blame_parser.add_argument(
+        "--arrivals",
+        default="closed",
+        choices=("closed", "periodic", "poisson"),
+        help="arrival process driving the run (default: closed)",
+    )
+    blame_parser.add_argument(
+        "--interval-ms",
+        type=float,
+        default=30.0,
+        metavar="MS",
+        help="(mean) inter-arrival time for periodic/poisson arrivals",
+    )
+    blame_parser.add_argument(
+        "--arrival-seed",
+        type=int,
+        default=0,
+        metavar="SEED",
+        help="RNG seed of the poisson arrival process",
+    )
+    blame_parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="engine admission deadline (dropped requests are blamed "
+        "up to their drop time)",
+    )
+    blame_parser.add_argument(
+        "--whatif",
+        metavar="SPECS",
+        help="comma-separated counterfactuals to re-simulate: "
+        "scale:<proc>:<factor>, no-contention, unlimited-memory, "
+        "drop:<request> (e.g. 'scale:gpu:2,no-contention')",
+    )
+    blame_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable document (hetero2pipe.blame.v1)",
+    )
+    blame_parser.add_argument(
+        "--jsonl",
+        metavar="PATH",
+        help="write request-blame / critical-path / what-if telemetry "
+        "rows as JSONL",
+    )
+    blame_parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a Chrome trace with the critical path highlighted "
+        "and wait-state-colored slices",
+    )
+
     lint_parser = sub.add_parser(
         "lint",
         help="static analysis: AST rules, import layering, plan invariants",
@@ -1400,6 +1613,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "drift": _cmd_drift,
         "profile": _cmd_profile,
         "bench": _cmd_bench,
+        "blame": _cmd_blame,
         "lint": _cmd_lint,
     }
     return handlers[args.command](args)

@@ -89,6 +89,12 @@ MODULE_OVERRIDES: Dict[str, int] = {
     # queueing/baseline layers.  ``repro.obs`` must never import it at
     # module level (that would be an upward edge from rank 5).
     f"{ROOT_PACKAGE}.obs.bench": 55,
+    # The what-if counterfactual layer *re-runs* the engine it compares
+    # against, so like obs.bench it sits above runtime (50); it must be
+    # imported explicitly (never re-exported from ``repro.obs``).  Its
+    # data-only sibling ``obs.blame`` stays at the obs leaf rank (5):
+    # it reads causality rows off a result but never imports runtime.
+    f"{ROOT_PACKAGE}.obs.whatif": 55,
 }
 
 

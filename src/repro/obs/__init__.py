@@ -36,6 +36,16 @@ from .accuracy import (
     report_from_dict,
     summarize,
 )
+from .blame import (
+    BLAME_COMPONENTS,
+    CriticalPath,
+    PathSegment,
+    RequestBlame,
+    aggregate_blame,
+    blame_requests,
+    compute_slack,
+    extract_critical_path,
+)
 from .drift import CusumDetector, DriftMonitor, EwmaDetector
 from .events import (
     EVENT_KINDS,
@@ -151,6 +161,16 @@ __all__ = [
     "slo_telemetry_rows",
     "render_slo_jsonl",
     "write_slo_jsonl",
+    # causal latency attribution (the what-if counterfactuals live in
+    # repro.obs.whatif, above runtime — import it explicitly)
+    "BLAME_COMPONENTS",
+    "RequestBlame",
+    "blame_requests",
+    "PathSegment",
+    "CriticalPath",
+    "extract_critical_path",
+    "compute_slack",
+    "aggregate_blame",
     # prediction accuracy + drift
     "SliceResidual",
     "RequestResidual",

@@ -23,6 +23,7 @@ import json
 from typing import Dict, List, Optional, Sequence
 
 from .accuracy import ResidualReport
+from .blame import CriticalPath, RequestBlame
 from .events import DriftDetected, SloBurnAlert
 from .metrics import MetricsRegistry
 from .slo import SloWindowReport
@@ -357,6 +358,65 @@ def burn_rate_counter_events(
             }
         )
     return events
+
+
+def blame_telemetry_rows(
+    requests: Sequence[RequestBlame],
+    critical_path: Optional[CriticalPath] = None,
+    whatifs: Sequence[object] = (),
+) -> List[Dict[str, object]]:
+    """Flatten blame output into JSONL rows.
+
+    Same contract as :func:`telemetry_rows`: every row carries a
+    ``type`` discriminator — ``request_blame``,
+    ``critical_path_segment`` or ``whatif_delta`` — so a consumer can
+    stream-filter without schema knowledge.  ``whatifs`` duck-types
+    anything with ``to_dict()`` (the
+    :class:`repro.obs.whatif.WhatIfReport` rows; typed as ``object``
+    so this module stays below ``whatif`` in the layering).
+    """
+    rows: List[Dict[str, object]] = []
+    for blame in requests:
+        row = blame.to_dict()
+        row["type"] = "request_blame"
+        rows.append(row)
+    if critical_path is not None:
+        for position, segment in enumerate(critical_path.segments):
+            row = segment.to_dict()
+            row["type"] = "critical_path_segment"
+            row["position"] = position
+            rows.append(row)
+    for report in whatifs:
+        row = report.to_dict()  # type: ignore[attr-defined]
+        row["type"] = "whatif_delta"
+        rows.append(row)
+    return rows
+
+
+def render_blame_jsonl(
+    requests: Sequence[RequestBlame],
+    critical_path: Optional[CriticalPath] = None,
+    whatifs: Sequence[object] = (),
+) -> str:
+    """The blame telemetry rows as JSONL text."""
+    lines = [
+        json.dumps(row, sort_keys=True)
+        for row in blame_telemetry_rows(requests, critical_path, whatifs)
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_blame_jsonl(
+    path: str,
+    requests: Sequence[RequestBlame],
+    critical_path: Optional[CriticalPath] = None,
+    whatifs: Sequence[object] = (),
+) -> int:
+    """Write the blame telemetry JSONL to ``path``; returns the row count."""
+    text = render_blame_jsonl(requests, critical_path, whatifs)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    return 0 if not text else text.count("\n")
 
 
 def read_telemetry_jsonl(path: str) -> List[Dict[str, object]]:

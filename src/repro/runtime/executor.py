@@ -84,6 +84,7 @@ def simulate_chains(
     record: bool = True,
     deadline_ms: Optional[object] = None,
     keep_events: bool = False,
+    track_causality: bool = True,
 ) -> ExecutionResult:
     """Simulate per-request task chains on one SoC.
 
@@ -116,6 +117,9 @@ def simulate_chains(
             whose first slice has not started this long after its
             arrival is dropped (see the engine docs).
         keep_events: Keep the processed-event log on the result.
+        track_causality: Record per-task
+            :class:`~repro.runtime.engine.TaskCausality` rows and the
+            co-run inflation matrix (the blame layer's input).
 
     Returns:
         The :class:`ExecutionResult`.
@@ -139,6 +143,7 @@ def simulate_chains(
         deadline_ms=deadline_ms,
         record=record,
         keep_events=keep_events,
+        track_causality=track_causality,
     ).run()
 
 

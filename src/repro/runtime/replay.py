@@ -7,19 +7,30 @@ sampled concurrency profile, and the critical chain of records that
 determined the makespan.  The examples and experiments use this to
 explain *where* a schedule lost its time.
 
-:func:`save_run` / :func:`load_run` round-trip a full run to JSON —
-execution records, trace samples, and the prediction-accuracy telemetry
-(residual reports + drift events) — so accuracy analysis can run
-offline, long after the run that produced it.
+:func:`save_run` / :func:`load_run` round-trip a full run to JSON
+(``hetero2pipe.run.v2``) — execution records, trace samples, causality
+rows, the prediction-accuracy telemetry (residual reports + drift
+events), timeline window stats and per-request blame breakdowns — so
+accuracy and blame analysis can run offline, long after the run that
+produced it.  v1 archives (no causality/windows/blame sections) still
+load.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from bisect import bisect_right
+from dataclasses import dataclass, field, fields
 from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
-from ..obs import DriftDetected, ResidualReport, event_from_dict, report_from_dict
+from ..obs import (
+    DriftDetected,
+    RequestBlame,
+    ResidualReport,
+    WindowStats,
+    event_from_dict,
+    report_from_dict,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .executor import ExecutionResult, TaskRecord
@@ -98,30 +109,59 @@ def concurrency_profile(
         raise ValueError("samples must be >= 1")
     if not result.records or result.makespan_ms <= 0:
         return [(0.0, 0)]
+    # One sorted start/finish sweep instead of rescanning every record
+    # per sample: active(t) = |starts <= t| - |finishes <= t| under the
+    # half-open ``start_ms <= t < finish_ms`` convention.
+    starts = sorted(r.start_ms for r in result.records)
+    finishes = sorted(r.finish_ms for r in result.records)
     points: List[Tuple[float, int]] = []
     for i in range(samples):
         t = result.makespan_ms * i / max(1, samples - 1)
-        active = sum(
-            1
-            for r in result.records
-            if r.start_ms <= t < r.finish_ms
-        )
+        active = bisect_right(starts, t) - bisect_right(finishes, t)
         points.append((t, active))
     return points
 
 
-def critical_chain(result: "ExecutionResult") -> List["TaskRecord"]:
+def critical_chain(
+    result: "ExecutionResult", prefer_exact: bool = True
+) -> List["TaskRecord"]:
     """The chain of records ending at the makespan, walked backwards.
 
+    .. deprecated::
+        The backward timestamp-coincidence walk below (``finish ≈
+        start`` within 1e-6) is a *heuristic* that predates the
+        engine's causality tracking: coincidental timestamp matches can
+        send it down the wrong branch.  When the result carries
+        :class:`~repro.runtime.engine.TaskCausality` rows this function
+        now delegates to the exact enablement walk
+        (:func:`repro.obs.blame.extract_critical_path`) and merely
+        re-expresses the path as task records; prefer calling the blame
+        API directly — it also reports the gap causes and the
+        makespan-tiling identity.  ``prefer_exact=False`` forces the
+        legacy heuristic (the blame guard uses it for its
+        heuristic-vs-exact comparison artifact).
+
     From the record that finishes last, repeatedly steps to the record
-    that *enabled* its start: the same request's previous stage if it
-    finished exactly at the start, otherwise the record occupying the
-    same processor immediately before.  The result is the sequence of
-    tasks that directly determined the makespan — lengthening any of
-    them lengthens the run.
+    that *enabled* its start: the exact recorded enabler when causality
+    is available, otherwise the same request's previous stage if it
+    finished approximately at the start, or the record occupying the
+    same processor immediately before.
     """
     if not result.records:
         return []
+    if prefer_exact and getattr(result, "causality", None):
+        from ..obs.blame import extract_critical_path
+
+        by_key = {(r.request, r.start_ms, r.finish_ms): r for r in result.records}
+        chain = []
+        for seg in extract_critical_path(result).segments:
+            if seg.start_ms is None:
+                continue  # truncated wait: no completed record exists
+            record = by_key.get((seg.request, seg.start_ms, seg.finish_ms))
+            if record is not None:
+                chain.append(record)
+        if chain:
+            return chain
     records = sorted(result.records, key=lambda r: r.finish_ms)
     chain: List["TaskRecord"] = [records[-1]]
     tolerance = 1e-6
@@ -150,15 +190,41 @@ def critical_chain(result: "ExecutionResult") -> List["TaskRecord"]:
 
 
 #: Schema identifier stamped into every serialized run document.
-RUN_SCHEMA = "hetero2pipe.run.v1"
+RUN_SCHEMA = "hetero2pipe.run.v2"
+
+#: The previous schema (no causality/windows/blame sections); archives
+#: stamped with it still load, with those sections empty.
+RUN_SCHEMA_V1 = "hetero2pipe.run.v1"
+
+
+@dataclass(frozen=True)
+class RunArchive:
+    """Everything :func:`load_run` rebuilds from one archive document.
+
+    Unpacks like the historical 3-tuple (``result, residuals,
+    drift_events = load_run(...)``); the v2 sections — timeline window
+    stats and per-request blame breakdowns — ride along as extra
+    fields (empty for v1 archives).
+    """
+
+    result: "ExecutionResult"
+    residuals: List[ResidualReport] = field(default_factory=list)
+    drift_events: List[DriftDetected] = field(default_factory=list)
+    windows: List[WindowStats] = field(default_factory=list)
+    blame: List[RequestBlame] = field(default_factory=list)
+
+    def __iter__(self):
+        return iter((self.result, self.residuals, self.drift_events))
 
 
 def run_to_dict(
     result: "ExecutionResult",
     residuals: Sequence[ResidualReport] = (),
     drift_events: Sequence[DriftDetected] = (),
+    windows: Sequence[WindowStats] = (),
+    blame: Sequence[RequestBlame] = (),
 ) -> Dict[str, object]:
-    """Serialize a run (+ accuracy telemetry) to a JSON-safe document."""
+    """Serialize a run (+ telemetry) to a JSON-safe v2 document."""
     return {
         "schema": RUN_SCHEMA,
         "makespan_ms": result.makespan_ms,
@@ -188,23 +254,61 @@ def run_to_dict(
             }
             for p in result.trace
         ],
+        "causality": [
+            {
+                "request": c.request,
+                "stage": c.stage,
+                "index": c.index,
+                "processor": c.processor,
+                "cause": c.cause,
+                "enabled_by": list(c.enabled_by)
+                if c.enabled_by is not None
+                else None,
+                "ready_ms": c.ready_ms,
+                "start_ms": c.start_ms,
+                "finish_ms": c.finish_ms,
+                "solo_ms": c.solo_ms,
+                "executed_solo_ms": c.executed_solo_ms,
+                "processor_busy_wait_ms": c.processor_busy_wait_ms,
+                "residency_wait_ms": c.residency_wait_ms,
+                "scheduler_wait_ms": c.scheduler_wait_ms,
+                "preempted_ms": c.preempted_ms,
+                "truncated": c.truncated,
+            }
+            for c in result.causality
+        ],
+        "corun_inflation_ms": [
+            {"processor": a, "co_runner": b, "inflation_ms": v}
+            for (a, b), v in sorted(result.corun_inflation_ms.items())
+        ],
         "residuals": [r.to_dict() for r in residuals],
         "drift_events": [e.to_dict() for e in drift_events],
+        "windows": [w.to_dict() for w in windows],
+        "blame": [b.to_dict() for b in blame],
     }
 
 
-def run_from_dict(
-    doc: Dict[str, object],
-) -> Tuple["ExecutionResult", List[ResidualReport], List[DriftDetected]]:
-    """Rebuild a run (+ accuracy telemetry) from :func:`run_to_dict`.
+def _from_fields(cls, doc: Dict[str, object]):
+    """Rebuild a dataclass row, ignoring derived keys (residue etc.)."""
+    names = {f.name for f in fields(cls)}
+    return cls(**{k: v for k, v in doc.items() if k in names})
+
+
+def run_from_dict(doc: Dict[str, object]) -> RunArchive:
+    """Rebuild a run (+ telemetry) from :func:`run_to_dict`.
+
+    Accepts both the current ``hetero2pipe.run.v2`` schema and legacy
+    ``...v1`` documents (whose causality / window / blame sections are
+    simply absent).
 
     Raises:
         ValueError: on an unknown schema identifier.
     """
+    from .engine import TaskCausality
     from .executor import ExecutionResult, TaskRecord, TracePoint
 
     schema = doc.get("schema", RUN_SCHEMA)
-    if schema != RUN_SCHEMA:
+    if schema not in (RUN_SCHEMA, RUN_SCHEMA_V1):
         raise ValueError(f"unsupported run schema {schema!r}")
     result = ExecutionResult(
         records=[
@@ -241,6 +345,37 @@ def run_from_dict(
             for k, v in doc.get("processor_busy_ms", {}).items()  # type: ignore[union-attr]
         },
         memory_pressure_events=int(doc.get("memory_pressure_events", 0)),  # type: ignore[arg-type]
+        causality=[
+            TaskCausality(
+                request=int(c["request"]),
+                stage=int(c["stage"]),
+                index=int(c["index"]),
+                processor=str(c["processor"]),
+                cause=str(c["cause"]),
+                enabled_by=tuple(c["enabled_by"])  # type: ignore[arg-type]
+                if c.get("enabled_by") is not None
+                else None,
+                ready_ms=float(c["ready_ms"]),
+                start_ms=float(c["start_ms"])
+                if c.get("start_ms") is not None
+                else None,
+                finish_ms=float(c["finish_ms"]),
+                solo_ms=float(c["solo_ms"]),
+                executed_solo_ms=float(c["executed_solo_ms"]),
+                processor_busy_wait_ms=float(c["processor_busy_wait_ms"]),
+                residency_wait_ms=float(c["residency_wait_ms"]),
+                scheduler_wait_ms=float(c["scheduler_wait_ms"]),
+                preempted_ms=float(c["preempted_ms"]),
+                truncated=bool(c.get("truncated", False)),
+            )
+            for c in doc.get("causality", [])  # type: ignore[union-attr]
+        ],
+        corun_inflation_ms={
+            (str(p["processor"]), str(p["co_runner"])): float(
+                p["inflation_ms"]
+            )
+            for p in doc.get("corun_inflation_ms", [])  # type: ignore[union-attr]
+        },
     )
     residuals = [
         report_from_dict(r) for r in doc.get("residuals", [])  # type: ignore[union-attr]
@@ -251,7 +386,21 @@ def run_from_dict(
         if not isinstance(event, DriftDetected):
             raise ValueError(f"expected drift_detected event, got {event.kind}")
         drift_events.append(event)
-    return result, residuals, drift_events
+    windows = [
+        _from_fields(WindowStats, w)
+        for w in doc.get("windows", [])  # type: ignore[union-attr]
+    ]
+    blame = [
+        _from_fields(RequestBlame, b)
+        for b in doc.get("blame", [])  # type: ignore[union-attr]
+    ]
+    return RunArchive(
+        result=result,
+        residuals=residuals,
+        drift_events=drift_events,
+        windows=windows,
+        blame=blame,
+    )
 
 
 def save_run(
@@ -259,16 +408,25 @@ def save_run(
     result: "ExecutionResult",
     residuals: Sequence[ResidualReport] = (),
     drift_events: Sequence[DriftDetected] = (),
+    windows: Sequence[WindowStats] = (),
+    blame: Sequence[RequestBlame] = (),
 ) -> None:
-    """Write a run (+ accuracy telemetry) as a JSON file."""
+    """Write a run (+ telemetry) as a JSON ``hetero2pipe.run.v2`` file."""
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(run_to_dict(result, residuals, drift_events), handle)
+        json.dump(
+            run_to_dict(
+                result,
+                residuals,
+                drift_events,
+                windows=windows,
+                blame=blame,
+            ),
+            handle,
+        )
 
 
-def load_run(
-    path: str,
-) -> Tuple["ExecutionResult", List[ResidualReport], List[DriftDetected]]:
-    """Load a run written by :func:`save_run`."""
+def load_run(path: str) -> RunArchive:
+    """Load a run written by :func:`save_run` (v1 or v2)."""
     with open(path, "r", encoding="utf-8") as handle:
         return run_from_dict(json.load(handle))
 

@@ -26,6 +26,16 @@ into the same document:
   :func:`repro.obs.prof.phase_track_events`), so where the planner's
   time went is readable without leaving Perfetto.
 
+With ``blame=True`` (and a result carrying causality rows) the trace
+additionally renders the *blame view*: the exact critical path's slices
+are highlighted (``cname: terrible`` + a ``critical_path`` arg) and
+each slice's wait interval is drawn on a per-processor ``<proc> waits``
+thread, colored by wait state — processor-busy waits as
+``thread_state_runnable``, memory-residency waits as
+``thread_state_iowait``, the scheduler residual as ``grey`` and
+preemption time as ``yellow`` (the legend documented in
+docs/OBSERVABILITY.md).
+
 Only the phases ``X``/``M``/``C``/``s``/``f`` are ever emitted; the
 export tests schema-validate this.
 """
@@ -239,6 +249,72 @@ def _provenance_flows(
     return flows
 
 
+#: Chrome-trace reserved color (``cname``) per wait state / highlight.
+WAIT_STATE_COLORS = {
+    "processor_busy": "thread_state_runnable",
+    "residency": "thread_state_iowait",
+    "scheduler": "grey",
+    "preempted": "yellow",
+}
+CRITICAL_PATH_COLOR = "terrible"
+
+#: Wait components thinner than this render as noise; skip them.
+_MIN_WAIT_SLICE_MS = 1e-6
+
+
+def _blame_wait_events(
+    result: "ExecutionResult",
+    tids: Dict[str, int],
+    name_of,
+) -> List[Dict]:
+    """Wait-state-colored ``X`` slices on per-processor wait threads.
+
+    Each causality row's wait interval ``[ready, start]`` is rendered
+    as back-to-back sub-slices in bucket order (busy → residency →
+    scheduler, then any preemption time inside ``[start, finish]``).
+    The bucket *totals* are exact; their ordering inside the interval
+    is a rendering convention.
+    """
+    events: List[Dict] = []
+    wait_tid = {proc: len(tids) + tid for proc, tid in tids.items()}
+    for row in result.causality:
+        if row.processor not in wait_tid:
+            continue
+        cursor = row.ready_ms
+        parts = [
+            ("processor_busy", row.processor_busy_wait_ms),
+            ("residency", row.residency_wait_ms),
+            ("scheduler", row.scheduler_wait_ms),
+        ]
+        if row.preempted_ms > _MIN_WAIT_SLICE_MS and row.start_ms is not None:
+            parts.append(("preempted", row.preempted_ms))
+        for state, dur_ms in parts:
+            if dur_ms <= _MIN_WAIT_SLICE_MS:
+                continue
+            events.append(
+                {
+                    "name": (
+                        f"{name_of(row.request)} / stage {row.stage} "
+                        f"({state} wait)"
+                    ),
+                    "cat": "blame",
+                    "ph": "X",
+                    "pid": obs_export.EXECUTION_PID,
+                    "tid": wait_tid[row.processor],
+                    "ts": cursor * 1000.0,
+                    "dur": dur_ms * 1000.0,
+                    "cname": WAIT_STATE_COLORS[state],
+                    "args": {
+                        "request": row.request,
+                        "wait_state": state,
+                        "cause": row.cause,
+                    },
+                }
+            )
+            cursor += dur_ms
+    return events
+
+
 def to_chrome_trace(
     result: "ExecutionResult",
     request_names: Optional[Sequence[str]] = None,
@@ -246,6 +322,7 @@ def to_chrome_trace(
     residuals: Optional[Sequence["obs.ResidualReport"]] = None,
     timeline_windows: Optional[Sequence["obs.WindowStats"]] = None,
     slo_reports: Optional[Sequence["obs.SloWindowReport"]] = None,
+    blame: bool = False,
 ) -> str:
     """Serialize a run as a Chrome trace (JSON string).
 
@@ -270,6 +347,11 @@ def to_chrome_trace(
         slo_reports: Closed :class:`~repro.obs.SloWindowReport` rows
             from an :class:`~repro.obs.SloEvaluator`; when given, one
             fast/slow burn-rate counter track per SLO class is drawn.
+        blame: Render the blame view (requires a result carrying
+            causality rows): critical-path slices are highlighted and
+            per-processor ``<proc> waits`` threads draw each slice's
+            wait interval colored by wait state (see module docstring
+            for the legend).
 
     Returns:
         A JSON document in the Chrome tracing "traceEvents" format with
@@ -300,23 +382,49 @@ def to_chrome_trace(
         obs_export.thread_metadata(obs_export.EXECUTION_PID, tid, proc)
         for proc, tid in tids.items()
     )
+    path_keys: set = set()
+    if blame and getattr(result, "causality", None):
+        # Late import: obs.blame is a data-only leaf, but keeping it out
+        # of module scope mirrors replay.py and keeps import time flat.
+        from ..obs.blame import extract_critical_path
+
+        path_keys = {
+            (seg.request, seg.start_ms, seg.finish_ms)
+            for seg in extract_critical_path(result).segments
+            if seg.start_ms is not None
+        }
     for rec in sorted(result.records, key=lambda r: r.start_ms):
-        events.append(
-            {
-                "name": f"{name_of(rec.request)} / stage {rec.stage}",
-                "cat": "slice",
-                "ph": "X",
-                "pid": obs_export.EXECUTION_PID,
-                "tid": tids[rec.processor],
-                "ts": rec.start_ms * 1000.0,
-                "dur": rec.duration_ms * 1000.0,
-                "args": {
-                    "request": rec.request,
-                    "solo_ms": rec.solo_ms,
-                    "slowdown": round(rec.slowdown, 4),
-                },
-            }
+        event = {
+            "name": f"{name_of(rec.request)} / stage {rec.stage}",
+            "cat": "slice",
+            "ph": "X",
+            "pid": obs_export.EXECUTION_PID,
+            "tid": tids[rec.processor],
+            "ts": rec.start_ms * 1000.0,
+            "dur": rec.duration_ms * 1000.0,
+            "args": {
+                "request": rec.request,
+                "solo_ms": rec.solo_ms,
+                "slowdown": round(rec.slowdown, 4),
+            },
+        }
+        if (rec.request, rec.start_ms, rec.finish_ms) in path_keys:
+            event["cname"] = CRITICAL_PATH_COLOR
+            event["args"]["critical_path"] = True  # type: ignore[index]
+        events.append(event)
+    if blame and getattr(result, "causality", None):
+        wait_events = _blame_wait_events(result, tids, name_of)
+        waiting_tids = {e["tid"] for e in wait_events}
+        events.extend(
+            obs_export.thread_metadata(
+                obs_export.EXECUTION_PID,
+                len(tids) + tid,
+                f"{proc} waits",
+            )
+            for proc, tid in tids.items()
+            if len(tids) + tid in waiting_tids
         )
+        events.extend(wait_events)
     events.extend(_trace_counter_events(result))
     if residuals:
         events.extend(
@@ -442,6 +550,7 @@ def write_chrome_trace(
     residuals: Optional[Sequence["obs.ResidualReport"]] = None,
     timeline_windows: Optional[Sequence["obs.WindowStats"]] = None,
     slo_reports: Optional[Sequence["obs.SloWindowReport"]] = None,
+    blame: bool = False,
 ) -> None:
     """Write the (optionally merged, see :func:`to_chrome_trace`)
     Chrome trace JSON to a file."""
@@ -454,5 +563,6 @@ def write_chrome_trace(
                 residuals=residuals,
                 timeline_windows=timeline_windows,
                 slo_reports=slo_reports,
+                blame=blame,
             )
         )
